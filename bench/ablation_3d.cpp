@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: Apache-2.0
+// Ablation studies around the paper's design choices:
+//   1. BEOL depth of the 3D stack (M4M4 / M6M6 / M8M8): channel width and
+//      footprint sensitivity (paper §III fixes M6M6).
+//   2. The 8 MiB partitioning scheme: forced "all banks on memory die" vs
+//      the balanced partition the paper (and our partitioner) chooses.
+//   3. Off-chip bandwidth crossover: where the memory phase stops hiding
+//      behind the compute phase for each tile size.
+#include "bench_util.hpp"
+#include "kernels/matmul.hpp"
+#include "model/calibration.hpp"
+#include "model/matmul_model.hpp"
+#include "phys/cluster_flow.hpp"
+#include "phys/flow.hpp"
+
+using namespace mp3d;
+using namespace mp3d::phys;
+
+int main() {
+  // ---- 1. BEOL depth sweep ---------------------------------------------------
+  Table beol("Ablation 1 - 3D BEOL depth (4 MiB configuration)");
+  beol.header({"stack", "layers", "channel [um]", "group footprint [mm2]",
+               "eff freq [MHz]"});
+  for (const u32 layers : {8U, 10U, 12U, 14U, 16U}) {
+    Technology tech = Technology::node28();
+    tech.layers_3d = layers;
+    const ImplResult r = implement(ImplConfig{Flow::k3D, MiB(4)}, tech);
+    beol.row({"M" + std::to_string(layers / 2) + "M" + std::to_string(layers / 2),
+              std::to_string(layers), fmt_fixed(r.group.channel_width_mm * 1e3, 0),
+              fmt_fixed(r.group.footprint_mm2, 3),
+              fmt_fixed(r.group.eff_freq_ghz * 1e3, 0)});
+  }
+  std::printf("%s\n", beol.to_string().c_str());
+
+  // ---- 2. partition scheme at 8 MiB -------------------------------------------
+  // The partitioner picks the balanced split; compare against keeping all
+  // macros on the memory die by inspecting both packings.
+  const ImplResult balanced = implement(ImplConfig{Flow::k3D, MiB(8)});
+  std::printf("Ablation 2 - 8 MiB partition: balanced scheme moves %u bank(s) + "
+              "I$=%s to the logic die -> footprint %.3f mm2/die, mem util %.0f %%.\n",
+              balanced.tile.spm_banks_on_logic_die,
+              balanced.tile.icache_on_logic_die ? "yes" : "no",
+              balanced.tile.footprint_mm2, balanced.tile.mem_die_util * 100);
+  {
+    // Forced naive partition: pack all 16 banks + I$ on the memory die.
+    Technology tech = Technology::node28();
+    const arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(8));
+    const SramMacro bank = compile_sram(tech, cfg.bank_words());
+    std::vector<SramMacro> all(cfg.banks_per_tile, bank);
+    const u32 ic_words = static_cast<u32>(cfg.icache_size / 2 / 4);
+    all.push_back(compile_sram(tech, ic_words));
+    all.push_back(compile_sram(tech, ic_words));
+    const PackResult naive = pack_best(all, 1.5);
+    std::printf("             naive (all on memory die): %.3f mm2/die (%+.1f %% "
+                "footprint), mem util %.0f %%.\n\n",
+                naive.bbox_area_mm2(),
+                (naive.bbox_area_mm2() / balanced.tile.footprint_mm2 - 1.0) * 100,
+                naive.utilization() * 100);
+  }
+
+  // ---- 3. bandwidth crossover ---------------------------------------------------
+  Table cross("Ablation 3 - memory-vs-compute phase balance (model)");
+  cross.header({"t", "BW [B/cyc]", "mem/chunk", "compute/chunk", "bound by"});
+  for (const u64 mib : {1, 8}) {
+    const u32 t = kernels::MatmulParams::paper_tile_dim(MiB(mib));
+    const model::MatmulCalibration cal = model::default_calibration(t);
+    for (const double bw : {4.0, 16.0, 64.0}) {
+      model::MatmulWorkload w;
+      w.m = 326400;
+      w.t = t;
+      w.bw_bytes_per_cycle = bw;
+      const auto c = model::matmul_cycles(w, cal);
+      const double chunks = static_cast<double>(w.m / t) *
+                            static_cast<double>(w.m / t) * static_cast<double>(w.m / t);
+      const double mem = c.memory / chunks;
+      const double cmp = c.compute / chunks;
+      cross.row({std::to_string(t), fmt_fixed(bw, 0), fmt_fixed(mem, 0),
+                 fmt_fixed(cmp, 0), mem > cmp ? "memory" : "compute"});
+    }
+  }
+  std::printf("%s\n", cross.to_string().c_str());
+
+  // ---- 4. cluster-level outlook (paper SS V.A) ---------------------------------
+  Table clus("Ablation 4 - cluster-level assembly (2x2 groups)");
+  clus.header({"SPM", "2D cluster [mm2]", "3D cluster [mm2]", "3D/2D group",
+               "3D/2D cluster"});
+  for (const u64 mib : {1, 8}) {
+    const arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(mib));
+    const ClusterImpl c2 = implement_cluster(cfg, Technology::node28(), Flow::k2D);
+    const ClusterImpl c3 = implement_cluster(cfg, Technology::node28(), Flow::k3D);
+    clus.row({bench::cap_name(MiB(mib)), fmt_fixed(c2.footprint_mm2, 1),
+              fmt_fixed(c3.footprint_mm2, 1),
+              fmt_norm(c3.group.footprint_mm2 / c2.group.footprint_mm2),
+              fmt_norm(c3.footprint_mm2 / c2.footprint_mm2)});
+  }
+  std::printf("%s\n", clus.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// SPDX-License-Identifier: Apache-2.0
+// Shared helpers for the table/figure regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace mp3d::bench {
+
+/// Save CSV next to the binary and report where.
+inline void save_csv(const CsvWriter& csv, const std::string& name) {
+  const std::string path = name + ".csv";
+  if (csv.save(path)) {
+    std::printf("[data written to %s]\n", path.c_str());
+  }
+}
+
+inline std::string cap_name(u64 capacity) {
+  return std::to_string(capacity / (1024 * 1024)) + " MiB";
+}
+
+}  // namespace mp3d::bench

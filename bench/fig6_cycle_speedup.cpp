@@ -1,0 +1,90 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Figure 6: matmul cycle-count speedup vs SPM capacity as a
+// function of the off-chip memory bandwidth (M = 326400, t chosen to fill
+// each capacity), relative to 1 MiB @ 4 B/cycle. Per-step (vs half
+// capacity) speedups are compared against the paper's annotations.
+//
+// Pass --measure to re-run the cycle-accurate calibrations on the 256-core
+// simulator (tens of seconds); the default uses the pre-measured values
+// recorded in model/calibration.cpp.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "kernels/matmul.hpp"
+#include "model/calibration.hpp"
+#include "model/matmul_model.hpp"
+#include "phys/paper_ref.hpp"
+
+using namespace mp3d;
+
+int main(int argc, char** argv) {
+  const bool measure = argc > 1 && std::strcmp(argv[1], "--measure") == 0;
+
+  std::vector<std::pair<u64, model::MatmulCalibration>> calibrations;
+  for (const u64 mib : {1, 2, 4, 8}) {
+    const u32 t = kernels::MatmulParams::paper_tile_dim(MiB(mib));
+    model::MatmulCalibration cal;
+    if (measure) {
+      arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(mib));
+      cfg.gmem_size = MiB(64);
+      cal = model::calibrate_matmul(cfg, t);
+      std::printf("calibrated %s\n", cal.to_string().c_str());
+    } else {
+      cal = model::default_calibration(t);
+    }
+    calibrations.emplace_back(MiB(mib), cal);
+  }
+
+  const std::vector<double> bandwidths = {4, 8, 16, 32, 64};
+  const auto rows = model::figure6_sweep(326400, 256, calibrations, bandwidths);
+
+  Table table("Figure 6 - cycle-count speedup vs 1 MiB @ 4 B/cycle (model)");
+  table.header({"BW [B/cyc]", "1 MiB", "2 MiB", "4 MiB", "8 MiB",
+                "step 2MiB (paper)", "step 4MiB (paper)", "step 8MiB (paper)"});
+  CsvWriter csv;
+  csv.header({"bw", "capacity_mib", "t", "cycles", "speedup_vs_baseline",
+              "speedup_vs_half"});
+  for (const double bw : bandwidths) {
+    std::vector<std::string> cells{fmt_fixed(bw, 0)};
+    std::vector<std::string> steps;
+    for (const auto& row : rows) {
+      if (row.bw != bw) {
+        continue;
+      }
+      cells.push_back(fmt_pct(row.speedup_vs_baseline));
+      if (row.spm_capacity != MiB(1)) {
+        std::string s = fmt_pct(row.speedup_vs_half_capacity);
+        // paper annotation if available
+        for (const auto& ref : phys::paper::figure6()) {
+          if (ref.bw == bw && ref.capacity == row.spm_capacity) {
+            s += " (" + fmt_pct(ref.speedup_vs_half) + ")";
+          }
+        }
+        steps.push_back(s);
+      }
+      csv.row({fmt_fixed(bw, 0), std::to_string(row.spm_capacity / MiB(1)),
+               std::to_string(row.t), fmt_fixed(row.cycles, 0),
+               fmt_norm(row.speedup_vs_baseline, 4), fmt_norm(row.speedup_vs_half_capacity, 4)});
+    }
+    cells.insert(cells.end(), steps.begin(), steps.end());
+    table.row(std::move(cells));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Headline claims.
+  auto total = [&](double bw) {
+    double c1 = 0;
+    double c8 = 0;
+    for (const auto& row : rows) {
+      if (row.bw == bw && row.spm_capacity == MiB(1)) c1 = row.cycles;
+      if (row.bw == bw && row.spm_capacity == MiB(8)) c8 = row.cycles;
+    }
+    return c1 / c8 - 1.0;
+  };
+  std::printf("8 MiB over 1 MiB at same bandwidth: %s @4 B/c (paper +43 %%), "
+              "%s @16 B/c (paper +16 %%), %s @64 B/c (paper +8 %%)\n\n",
+              fmt_pct(total(4)).c_str(), fmt_pct(total(16)).c_str(),
+              fmt_pct(total(64)).c_str());
+  bench::save_csv(csv, "fig6_cycle_speedup");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Figure 7: matmul performance gain vs SPM capacity for the 2D
+// and 3D flows, relative to MemPool-2D 1 MiB @ 16 B/cycle. The annotations
+// are the 3D-over-2D speedups at the same capacity (paper: +4.2/+5.3/
+// +9.1/+5.1 %).
+#include "bench_util.hpp"
+#include "core/coexplore.hpp"
+
+using namespace mp3d;
+
+int main() {
+  core::CoExplorer explorer;
+  Table table("Figure 7 - performance gain vs MemPool-2D 1 MiB (16 B/cycle)");
+  table.header({"SPM", "2D gain", "3D gain", "3D vs 2D", "(paper)"});
+  CsvWriter csv;
+  csv.header({"capacity_mib", "gain_2d", "gain_3d", "gain_3d_over_2d",
+              "gain_3d_over_2d_paper", "runtime_2d_ms", "runtime_3d_ms"});
+  for (std::size_t i = 0; i < phys::paper::figures789().size(); ++i) {
+    const auto& ref = phys::paper::figures789()[i];
+    const u64 cap = ref.capacity;
+    const auto& p2 = explorer.at(phys::Flow::k2D, cap);
+    const auto& p3 = explorer.at(phys::Flow::k3D, cap);
+    table.row({bench::cap_name(cap), fmt_pct(explorer.performance_gain(p2)),
+               fmt_pct(explorer.performance_gain(p3)),
+               fmt_pct(explorer.gain_3d_over_2d_perf(cap)),
+               fmt_pct(ref.perf_gain_3d_over_2d)});
+    csv.row({std::to_string(cap / MiB(1)), fmt_norm(explorer.performance_gain(p2), 4),
+             fmt_norm(explorer.performance_gain(p3), 4),
+             fmt_norm(explorer.gain_3d_over_2d_perf(cap), 4),
+             fmt_norm(ref.perf_gain_3d_over_2d, 4), fmt_fixed(p2.runtime_ms, 2),
+             fmt_fixed(p3.runtime_ms, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  const double headline =
+      explorer.performance_gain(explorer.at(phys::Flow::k3D, MiB(8)));
+  std::printf("Headline: MemPool-3D 8 MiB achieves %s over the baseline "
+              "(paper: +8.4 %%).\n\n",
+              fmt_pct(headline).c_str());
+  bench::save_csv(csv, "fig7_performance");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Figure 8: energy-efficiency gain vs SPM capacity, relative
+// to MemPool-2D 1 MiB @ 16 B/cycle. Annotations: 3D over 2D at the same
+// capacity (paper: +14.0/+14.5/+18.4/+16.5 %).
+#include "bench_util.hpp"
+#include "core/coexplore.hpp"
+
+using namespace mp3d;
+
+int main() {
+  core::CoExplorer explorer;
+  Table table("Figure 8 - energy-efficiency gain vs MemPool-2D 1 MiB (16 B/cycle)");
+  table.header({"SPM", "2D gain", "3D gain", "3D vs 2D", "(paper)"});
+  CsvWriter csv;
+  csv.header({"capacity_mib", "gain_2d", "gain_3d", "gain_3d_over_2d",
+              "gain_3d_over_2d_paper", "energy_2d_mj", "energy_3d_mj"});
+  for (const auto& ref : phys::paper::figures789()) {
+    const u64 cap = ref.capacity;
+    const auto& p2 = explorer.at(phys::Flow::k2D, cap);
+    const auto& p3 = explorer.at(phys::Flow::k3D, cap);
+    table.row({bench::cap_name(cap), fmt_pct(explorer.efficiency_gain(p2)),
+               fmt_pct(explorer.efficiency_gain(p3)),
+               fmt_pct(explorer.gain_3d_over_2d_eff(cap)),
+               fmt_pct(ref.eff_gain_3d_over_2d)});
+    csv.row({std::to_string(cap / MiB(1)), fmt_norm(explorer.efficiency_gain(p2), 4),
+             fmt_norm(explorer.efficiency_gain(p3), 4),
+             fmt_norm(explorer.gain_3d_over_2d_eff(cap), 4),
+             fmt_norm(ref.eff_gain_3d_over_2d, 4), fmt_fixed(p2.energy_mj, 3),
+             fmt_fixed(p3.energy_mj, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  const double opt = explorer.efficiency_gain(explorer.at(phys::Flow::k3D, MiB(1)));
+  const double worst = explorer.efficiency_gain(explorer.at(phys::Flow::k2D, MiB(8)));
+  std::printf("MemPool-3D 1 MiB is the efficiency optimum at %s vs baseline (paper "
+              "+14 %%); MemPool-2D 8 MiB is worst at %s (paper -21 %%).\n\n",
+              fmt_pct(opt).c_str(), fmt_pct(worst).c_str());
+  bench::save_csv(csv, "fig8_energy");
+  return 0;
+}

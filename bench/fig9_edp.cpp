@@ -1,0 +1,37 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Figure 9: energy-delay-product variation vs SPM capacity,
+// relative to MemPool-2D 1 MiB @ 16 B/cycle (lower is better).
+// Annotations: 3D vs 2D at the same capacity (paper: -15.6/-17.3/-22.6/
+// -18.2 %).
+#include "bench_util.hpp"
+#include "core/coexplore.hpp"
+
+using namespace mp3d;
+
+int main() {
+  core::CoExplorer explorer;
+  Table table("Figure 9 - EDP variation vs MemPool-2D 1 MiB (16 B/cycle, lower=better)");
+  table.header({"SPM", "2D", "3D", "3D vs 2D", "(paper)"});
+  CsvWriter csv;
+  csv.header({"capacity_mib", "var_2d", "var_3d", "var_3d_over_2d",
+              "var_3d_over_2d_paper"});
+  for (const auto& ref : phys::paper::figures789()) {
+    const u64 cap = ref.capacity;
+    const auto& p2 = explorer.at(phys::Flow::k2D, cap);
+    const auto& p3 = explorer.at(phys::Flow::k3D, cap);
+    table.row({bench::cap_name(cap), fmt_pct(explorer.edp_variation(p2)),
+               fmt_pct(explorer.edp_variation(p3)),
+               fmt_pct(explorer.var_3d_over_2d_edp(cap)),
+               fmt_pct(ref.edp_var_3d_over_2d)});
+    csv.row({std::to_string(cap / MiB(1)), fmt_norm(explorer.edp_variation(p2), 4),
+             fmt_norm(explorer.edp_variation(p3), 4),
+             fmt_norm(explorer.var_3d_over_2d_edp(cap), 4),
+             fmt_norm(ref.edp_var_3d_over_2d, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  const double best = explorer.edp_variation(explorer.at(phys::Flow::k3D, MiB(1)));
+  std::printf("MemPool-3D 1 MiB has the lowest EDP: %s vs baseline (paper -15.6 %%).\n\n",
+              fmt_pct(best).c_str());
+  bench::save_csv(csv, "fig9_edp");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// SPDX-License-Identifier: Apache-2.0
+// google-benchmark microbenchmarks of the simulator's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/runtime.hpp"
+#include "phys/flow.hpp"
+
+using namespace mp3d;
+
+namespace {
+
+void BM_Decode(benchmark::State& state) {
+  // Decode a mixed instruction stream.
+  std::vector<u32> words;
+  isa::AsmOptions opt;
+  const isa::Program p = isa::assemble(R"(
+    add a0, a1, a2
+    p.mac a3, a4, a5
+    lw t0, 4(sp)
+    p.lw t1, 4(t2!)
+    bne a0, a1, next
+next:
+    amoadd.w a0, a1, (a2)
+  )",
+                                       opt);
+  words = p.segments()[0].words;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[i % words.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_ClusterCycle_Tiny(benchmark::State& state) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  arch::Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 16;
+  p.t = 8;
+  const kernels::Kernel k = kernels::build_matmul(cfg, p);
+  cluster.load_program(k.program);
+  k.init(cluster);
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_cores());
+}
+BENCHMARK(BM_ClusterCycle_Tiny);
+
+void BM_ClusterCycle_FullMemPool(benchmark::State& state) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(1));
+  cfg.perfect_icache = true;
+  cfg.gmem_size = MiB(64);
+  arch::Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 256;
+  p.t = 256;
+  p.outer_tiles = 1;
+  p.k_chunks = 1;
+  const kernels::Kernel k = kernels::build_matmul(cfg, p);
+  cluster.load_program(k.program);
+  k.init(cluster);
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_cores());
+}
+BENCHMARK(BM_ClusterCycle_FullMemPool);
+
+void BM_ImplementGroup(benchmark::State& state) {
+  const bool flow_3d = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phys::implement(
+        phys::ImplConfig{flow_3d ? phys::Flow::k3D : phys::Flow::k2D, MiB(4)}));
+  }
+}
+BENCHMARK(BM_ImplementGroup)->Arg(0)->Arg(1);
+
+void BM_Assemble(benchmark::State& state) {
+  const arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(1));
+  kernels::MatmulParams p;
+  p.m = 256;
+  p.t = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::build_matmul(cfg, p));
+  }
+}
+BENCHMARK(BM_Assemble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Table I: MemPool tile implementation results (footprint and
+// die utilizations), normalized to the 2D 1 MiB baseline, with the paper's
+// values side by side.
+#include "bench_util.hpp"
+#include "phys/flow.hpp"
+
+using namespace mp3d;
+using namespace mp3d::phys;
+
+int main() {
+  const auto results = implement_all();
+  const double base_fp = results.front().tile.footprint_mm2;
+
+  Table table("Table I - MemPool tile implementation results (model vs paper)");
+  table.header({"Flow", "SPM", "Footprint", "(paper)", "Logic util", "(paper)",
+                "Mem util", "(paper)", "banks/I$ moved"});
+  CsvWriter csv;
+  csv.header({"flow", "capacity_mib", "footprint_norm", "footprint_paper",
+              "logic_util", "logic_util_paper", "mem_util", "mem_util_paper",
+              "banks_on_logic_die", "icache_on_logic_die", "footprint_mm2"});
+  for (const ImplResult& r : results) {
+    const auto& ref = paper::tile_ref(r.config.flow, r.config.spm_capacity);
+    const double fp = r.tile.footprint_mm2 / base_fp;
+    table.row({flow_name(r.config.flow), bench::cap_name(r.config.spm_capacity),
+               fmt_norm(fp), fmt_norm(ref.footprint_norm),
+               fmt_fixed(r.tile.logic_die_util * 100, 0) + " %",
+               fmt_fixed(ref.logic_util * 100, 0) + " %",
+               r.config.flow == Flow::k3D ? fmt_fixed(r.tile.mem_die_util * 100, 0) + " %"
+                                          : std::string("-"),
+               ref.mem_util ? fmt_fixed(*ref.mem_util * 100, 0) + " %" : std::string("-"),
+               std::to_string(r.tile.spm_banks_on_logic_die) + "/" +
+                   (r.tile.icache_on_logic_die ? "yes" : "no")});
+    csv.row({flow_name(r.config.flow), std::to_string(r.config.spm_capacity / MiB(1)),
+             fmt_norm(fp), fmt_norm(ref.footprint_norm),
+             fmt_norm(r.tile.logic_die_util), fmt_norm(ref.logic_util),
+             fmt_norm(r.tile.mem_die_util), fmt_norm(ref.mem_util.value_or(0.0)),
+             std::to_string(r.tile.spm_banks_on_logic_die),
+             r.tile.icache_on_logic_die ? "1" : "0",
+             fmt_fixed(r.tile.footprint_mm2, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Partitioning (paper Fig. 1/3): 1-4 MiB keep all banks + I$ on the memory\n"
+              "die; at 8 MiB the partitioner moves one SPM bank and the I$ banks to the\n"
+              "logic die to rebalance the stack.\n\n");
+  bench::save_csv(csv, "table1_tile");
+  return 0;
+}

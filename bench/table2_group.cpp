@@ -1,0 +1,80 @@
+// SPDX-License-Identifier: Apache-2.0
+// Regenerates Table II: group-level PPA of all eight configurations,
+// normalized to MemPool-2D 1 MiB, with the paper's values side by side.
+#include "bench_util.hpp"
+#include "phys/flow.hpp"
+
+using namespace mp3d;
+using namespace mp3d::phys;
+
+int main() {
+  const auto results = implement_all();
+  const GroupImpl& base = results.front().group;
+
+  Table table("Table II - MemPool group implementation results (model / paper)");
+  table.header({"Metric", "2D 1MiB", "2D 2MiB", "2D 4MiB", "2D 8MiB", "3D 1MiB",
+                "3D 2MiB", "3D 4MiB", "3D 8MiB"});
+
+  auto row = [&](const std::string& name, auto value, auto ref, int digits) {
+    std::vector<std::string> cells{name};
+    for (const ImplResult& r : results) {
+      const auto& pr = paper::group_ref(r.config.flow, r.config.spm_capacity);
+      cells.push_back(fmt_fixed(value(r.group), digits) + " / " +
+                      fmt_fixed(ref(pr), digits));
+    }
+    table.row(std::move(cells));
+  };
+
+  row("Footprint", [&](const GroupImpl& g) { return g.footprint_mm2 / base.footprint_mm2; },
+      [](const paper::GroupRef& p) { return p.footprint_norm; }, 3);
+  row("Combined die area",
+      [&](const GroupImpl& g) { return g.combined_die_area_mm2 / base.footprint_mm2; },
+      [](const paper::GroupRef& p) { return p.combined_area_norm; }, 3);
+  row("Wire length",
+      [&](const GroupImpl& g) { return g.wire_length_mm / base.wire_length_mm; },
+      [](const paper::GroupRef& p) { return p.wire_length_norm; }, 3);
+  row("Density [%]", [](const GroupImpl& g) { return g.cell_density * 100.0; },
+      [](const paper::GroupRef& p) { return p.density; }, 1);
+  row("#Buffers [e3]", [](const GroupImpl& g) { return g.num_buffers / 1e3; },
+      [](const paper::GroupRef& p) { return p.buffers / 1e3; }, 1);
+  row("#F2F bumps [e3]", [](const GroupImpl& g) { return g.f2f_bumps / 1e3; },
+      [](const paper::GroupRef& p) { return p.f2f_bumps.value_or(0.0) / 1e3; }, 1);
+  row("Eff. frequency",
+      [&](const GroupImpl& g) { return g.eff_freq_ghz / base.eff_freq_ghz; },
+      [](const paper::GroupRef& p) { return p.eff_freq_norm; }, 3);
+  row("TNS (norm)", [&](const GroupImpl& g) { return g.tns_ns / base.tns_ns; },
+      [](const paper::GroupRef& p) { return -p.tns_norm; }, 2);
+  row("#Failing paths", [](const GroupImpl& g) { return g.failing_paths; },
+      [](const paper::GroupRef& p) { return p.failing_paths; }, 0);
+  row("Total power",
+      [&](const GroupImpl& g) { return g.total_power_mw / base.total_power_mw; },
+      [](const paper::GroupRef& p) { return p.power_norm; }, 3);
+  row("Power-delay product", [&](const GroupImpl& g) { return g.pdp / base.pdp; },
+      [](const paper::GroupRef& p) { return p.pdp_norm; }, 3);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Absolute model values: 2D 1 MiB group: %.2f mm2, %.0f MHz, %.0f mW;\n"
+              "3D 1 MiB group: %.2f mm2/die, %.0f MHz, %.0f mW.\n\n",
+              base.footprint_mm2, base.eff_freq_ghz * 1e3, base.total_power_mw,
+              results[4].group.footprint_mm2, results[4].group.eff_freq_ghz * 1e3,
+              results[4].group.total_power_mw);
+
+  CsvWriter csv;
+  csv.header({"flow", "capacity_mib", "footprint_norm", "area_norm", "wl_norm",
+              "density", "buffers", "f2f_bumps", "freq_norm", "tns_norm",
+              "failing_paths", "power_norm", "pdp_norm"});
+  for (const ImplResult& r : results) {
+    const GroupImpl& g = r.group;
+    csv.row({flow_name(r.config.flow), std::to_string(r.config.spm_capacity / MiB(1)),
+             fmt_norm(g.footprint_mm2 / base.footprint_mm2),
+             fmt_norm(g.combined_die_area_mm2 / base.footprint_mm2),
+             fmt_norm(g.wire_length_mm / base.wire_length_mm),
+             fmt_norm(g.cell_density), fmt_fixed(g.num_buffers, 0),
+             fmt_fixed(g.f2f_bumps, 0), fmt_norm(g.eff_freq_ghz / base.eff_freq_ghz),
+             fmt_norm(g.tns_ns / base.tns_ns), fmt_fixed(g.failing_paths, 0),
+             fmt_norm(g.total_power_mw / base.total_power_mw),
+             fmt_norm(g.pdp / base.pdp)});
+  }
+  bench::save_csv(csv, "table2_group");
+  return 0;
+}

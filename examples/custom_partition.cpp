@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: Apache-2.0
+// Use the physical-design API directly: compile SRAM macros, explore tile
+// partitionings by hand, and compare against the automatic partitioner
+// (the paper's §IV study).
+#include <cstdio>
+
+#include "core/mempool3d.hpp"
+
+using namespace mp3d;
+using namespace mp3d::phys;
+
+int main() {
+  const Technology& tech = Technology::node28();
+
+  std::printf("SRAM macro sweep (the four paper bank sizes):\n");
+  for (const u32 words : {256U, 512U, 1024U, 2048U}) {
+    std::printf("  %s\n", compile_sram(tech, words).to_string().c_str());
+  }
+
+  std::printf("\nautomatic partitioning per capacity (3D flow):\n");
+  for (const u64 mib : {1, 2, 4, 8}) {
+    const arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(mib));
+    const TileImpl tile = implement_tile(cfg, tech, Flow::k3D);
+    std::printf("  %s\n", tile.to_string().c_str());
+  }
+
+  std::printf("\nmanual what-if: pack 15 8-KiB banks (the paper's Fig. 3c memory die):\n");
+  const SramMacro bank8k = compile_sram(tech, 2048);
+  std::vector<SramMacro> fifteen(15, bank8k);
+  const PackResult grid = pack_best(fifteen, 1.5);
+  std::printf("  %.3f x %.3f mm (%.1f %% utilization, %u shelves)\n", grid.width_mm,
+              grid.height_mm, grid.utilization() * 100, grid.shelves);
+  return 0;
+}

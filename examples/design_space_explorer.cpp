@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: Apache-2.0
+// The full co-exploration (the paper's contribution): implement all eight
+// configurations through the 2D and Macro-3D flows, combine with the
+// workload model, and report the PPA + performance/efficiency landscape.
+#include <cstdio>
+
+#include "core/mempool3d.hpp"
+
+using namespace mp3d;
+
+int main() {
+  core::CoExplorer explorer;
+
+  std::printf("%-4s %-6s %10s %9s %9s %10s %10s %9s %9s\n", "flow", "SPM",
+              "fp [mm2]", "f [MHz]", "P [mW]", "run [ms]", "E [mJ]", "perf", "eff");
+  const auto& base = explorer.baseline();
+  for (const core::OperatingPoint& p : explorer.points()) {
+    std::printf("%-4s %-6llu %10.2f %9.0f %9.0f %10.1f %10.1f %8.1f%% %8.1f%%\n",
+                phys::flow_name(p.impl.config.flow),
+                static_cast<unsigned long long>(p.impl.config.spm_capacity / MiB(1)),
+                p.impl.group.footprint_mm2, p.freq_ghz * 1e3, p.power_mw, p.runtime_ms,
+                p.energy_mj, explorer.performance_gain(p) * 100,
+                explorer.efficiency_gain(p) * 100);
+  }
+  std::printf("\nbaseline: 2D 1 MiB, runtime %.1f ms, energy %.1f mJ\n",
+              base.runtime_ms, base.energy_mj);
+
+  // Pick the sweet spots, as the paper's conclusion does.
+  const core::OperatingPoint* best_perf = &base;
+  const core::OperatingPoint* best_eff = &base;
+  const core::OperatingPoint* best_edp = &base;
+  for (const auto& p : explorer.points()) {
+    if (p.performance > best_perf->performance) best_perf = &p;
+    if (p.efficiency > best_eff->efficiency) best_eff = &p;
+    if (p.edp < best_edp->edp) best_edp = &p;
+  }
+  auto name = [](const core::OperatingPoint& p) {
+    return std::string(phys::flow_name(p.impl.config.flow)) + "-" +
+           std::to_string(p.impl.config.spm_capacity / MiB(1)) + "MiB";
+  };
+  std::printf("fastest: %s (%+.1f %%), most efficient: %s (%+.1f %%), lowest EDP: %s "
+              "(%+.1f %%)\n",
+              name(*best_perf).c_str(), explorer.performance_gain(*best_perf) * 100,
+              name(*best_eff).c_str(), explorer.efficiency_gain(*best_eff) * 100,
+              name(*best_edp).c_str(), explorer.edp_variation(*best_edp) * 100);
+  std::printf("(paper: 3D designs win across the board; 3D-1MiB is the efficiency/EDP\n"
+              " optimum, the largest 3D designs are the fastest.)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/addr_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace mp3d::arch {
+
+AddrMap::AddrMap(const ClusterConfig& cfg)
+    : spm_base_(cfg.spm_base),
+      seq_total_(cfg.seq_region_bytes()),
+      seq_per_tile_(cfg.seq_bytes_per_tile),
+      spm_capacity_(cfg.spm_capacity),
+      interleaved_bytes_(cfg.interleaved_bytes()),
+      ctrl_base_(cfg.ctrl_base),
+      gmem_base_(cfg.gmem_base),
+      gmem_size_(cfg.gmem_size),
+      num_tiles_(cfg.num_tiles()),
+      banks_per_tile_(cfg.banks_per_tile),
+      num_banks_(cfg.num_banks()),
+      rows_per_bank_(cfg.bank_words()),
+      seq_rows_per_bank_(
+          static_cast<u32>(cfg.seq_bytes_per_tile / (4ULL * cfg.banks_per_tile))) {}
+
+Region AddrMap::classify(u32 addr) const {
+  if (addr >= spm_base_ && addr < spm_base_ + spm_capacity_) {
+    return (addr - spm_base_) < seq_total_ ? Region::kSpmSeq : Region::kSpmInterleaved;
+  }
+  if (addr >= ctrl_base_ && addr < ctrl_base_ + 0x1000) {
+    return Region::kCtrl;
+  }
+  if (addr >= gmem_base_ && static_cast<u64>(addr) - gmem_base_ < gmem_size_) {
+    return Region::kGmem;
+  }
+  return Region::kInvalid;
+}
+
+BankTarget AddrMap::spm_target(u32 addr) const {
+  const u32 off = addr - spm_base_;
+  BankTarget t;
+  if (off < seq_total_) {
+    const u32 tile = static_cast<u32>(off / seq_per_tile_);
+    const u32 within = static_cast<u32>(off % seq_per_tile_);
+    const u32 word = within / 4;
+    t.tile = tile;
+    t.bank = word % banks_per_tile_;
+    t.row = word / banks_per_tile_;
+    MP3D_ASSERT(t.row < seq_rows_per_bank_);
+    return t;
+  }
+  const u64 word = (off - seq_total_) / 4;
+  const u32 global_bank = static_cast<u32>(word % num_banks_);
+  t.tile = global_bank / banks_per_tile_;
+  t.bank = global_bank % banks_per_tile_;
+  t.row = seq_rows_per_bank_ + static_cast<u32>(word / num_banks_);
+  MP3D_ASSERT(t.row < rows_per_bank_);
+  return t;
+}
+
+u32 AddrMap::interleaved_addr(u64 word_index) const {
+  MP3D_ASSERT(word_index < interleaved_words());
+  return static_cast<u32>(spm_base_ + seq_total_ + word_index * 4);
+}
+
+u32 AddrMap::seq_base(u32 tile) const {
+  MP3D_ASSERT(tile < num_tiles_);
+  return static_cast<u32>(spm_base_ + tile * seq_per_tile_);
+}
+
+}  // namespace mp3d::arch

@@ -1,0 +1,72 @@
+// SPDX-License-Identifier: Apache-2.0
+// MemPool address map.
+//
+// SPM layout (byte addresses relative to spm_base):
+//   [0, seq_total)              tile-sequential region: tile t owns the slice
+//                               [t*seq_per_tile, (t+1)*seq_per_tile); within a
+//                               slice, words interleave across the tile's own
+//                               banks. Used for stacks and tile-private data —
+//                               accesses from the owning tile stay local.
+//   [seq_total, spm_capacity)   fully interleaved region: consecutive words
+//                               round-robin across all banks of the cluster,
+//                               maximizing banking parallelism for shared
+//                               data (the paper's matrices live here).
+//
+// Each bank therefore serves its low rows to the sequential region and its
+// remaining rows to the interleaved region.
+#pragma once
+
+#include "arch/mem_types.hpp"
+#include "arch/params.hpp"
+
+namespace mp3d::arch {
+
+class AddrMap {
+ public:
+  explicit AddrMap(const ClusterConfig& cfg);
+
+  Region classify(u32 addr) const;
+
+  bool is_spm(u32 addr) const {
+    const Region r = classify(addr);
+    return r == Region::kSpmSeq || r == Region::kSpmInterleaved;
+  }
+
+  /// Decompose an SPM byte address into bank coordinates (word granular).
+  BankTarget spm_target(u32 addr) const;
+
+  /// Inverse mapping: byte address of interleaved word `index` (0-based
+  /// across the whole interleaved region).
+  u32 interleaved_addr(u64 word_index) const;
+  /// Number of words in the interleaved region.
+  u64 interleaved_words() const { return interleaved_bytes_ / 4; }
+
+  /// Byte address of tile `tile`'s sequential slice.
+  u32 seq_base(u32 tile) const;
+  u64 seq_bytes_per_tile() const { return seq_per_tile_; }
+
+  /// Rows per bank reserved for the sequential region.
+  u32 seq_rows_per_bank() const { return seq_rows_per_bank_; }
+  u32 rows_per_bank() const { return rows_per_bank_; }
+
+  u32 gmem_base() const { return gmem_base_; }
+  u64 gmem_size() const { return gmem_size_; }
+  u32 ctrl_base() const { return ctrl_base_; }
+
+ private:
+  u32 spm_base_;
+  u64 seq_total_;
+  u64 seq_per_tile_;
+  u64 spm_capacity_;
+  u64 interleaved_bytes_;
+  u32 ctrl_base_;
+  u32 gmem_base_;
+  u64 gmem_size_;
+  u32 num_tiles_;
+  u32 banks_per_tile_;
+  u32 num_banks_;
+  u32 rows_per_bank_;
+  u32 seq_rows_per_bank_;
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,68 @@
+// SPDX-License-Identifier: Apache-2.0
+// One SPM SRAM bank: single-ported, one access per cycle, FIFO service of
+// queued requests. The bank is the serialization point for atomics (AMOs
+// execute here) and holds per-row LR/SC reservations.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "arch/mem_types.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::arch {
+
+/// Row field is stored in MemRequest::ready_at-adjacent metadata: requests
+/// routed to a bank carry the decomposed row in `row`.
+struct BankRequest {
+  MemRequest req;
+  u32 row = 0;
+};
+
+class SpmBank {
+ public:
+  explicit SpmBank(u32 words) : storage_(words, 0) {}
+
+  // ---- functional backdoor ------------------------------------------------
+  u32 read_row(u32 row) const { return storage_[row]; }
+  void write_row(u32 row, u32 value) { storage_[row] = value; }
+  u32 words() const { return static_cast<u32>(storage_.size()); }
+
+  // ---- timed interface ------------------------------------------------------
+  void push(BankRequest request) { queue_.push_back(std::move(request)); }
+
+  bool has_ready(sim::Cycle now) const {
+    return !queue_.empty() && queue_.front().req.ready_at <= now;
+  }
+
+  /// Front request if one is ready to be served this cycle (routing peek).
+  const BankRequest* peek(sim::Cycle now) const {
+    return has_ready(now) ? &queue_.front() : nullptr;
+  }
+  bool busy() const { return !queue_.empty(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Serve at most one request; returns the response (stores ack too).
+  /// Also accumulates conflict statistics: cycles a request waited beyond
+  /// its zero-load arrival time.
+  std::optional<MemResponse> serve(sim::Cycle now);
+
+  u64 accesses() const { return accesses_; }
+  u64 conflict_wait_cycles() const { return conflict_wait_cycles_; }
+  u64 conflicts() const { return conflicts_; }
+
+ private:
+  u32 execute(const BankRequest& request);
+
+  std::vector<u32> storage_;
+  std::deque<BankRequest> queue_;
+  // LR/SC reservations: (row, core) pairs; invalidated by any intervening
+  // write from another core.
+  std::vector<std::pair<u32, u16>> reservations_;
+  u64 accesses_ = 0;
+  u64 conflicts_ = 0;
+  u64 conflict_wait_cycles_ = 0;
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,474 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace mp3d::arch {
+
+u64 RunResult::total_instret() const {
+  u64 total = 0;
+  for (const u64 n : instret) {
+    total += n;
+  }
+  return total;
+}
+
+double RunResult::ipc() const {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(total_instret()) / static_cast<double>(cycles);
+}
+
+std::optional<u64> RunResult::marker_cycle(u32 id, std::size_t occurrence) const {
+  std::size_t seen = 0;
+  for (const Marker& m : markers) {
+    if (m.id == id) {
+      if (seen == occurrence) {
+        return m.cycle;
+      }
+      ++seen;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<u64> RunResult::marker_cycles(u32 id) const {
+  std::vector<u64> out;
+  for (const Marker& m : markers) {
+    if (m.id == id) {
+      out.push_back(m.cycle);
+    }
+  }
+  return out;
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
+  cfg_.validate();
+  noc_ = std::make_unique<Interconnect>(cfg_);
+  gmem_ = std::make_unique<GlobalMemory>(cfg_.gmem_base, cfg_.gmem_size,
+                                         cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency);
+  const u32 tiles = cfg_.num_tiles();
+  banks_.reserve(static_cast<std::size_t>(tiles) * cfg_.banks_per_tile);
+  for (u32 b = 0; b < cfg_.num_banks(); ++b) {
+    banks_.emplace_back(cfg_.bank_words());
+  }
+  bank_active_flag_.assign(cfg_.num_banks(), 0);
+  for (u32 t = 0; t < tiles; ++t) {
+    icaches_.push_back(std::make_unique<TileICache>(cfg_.icache_size, cfg_.icache_line,
+                                                    cfg_.perfect_icache));
+  }
+  for (u32 c = 0; c < cfg_.num_cores(); ++c) {
+    cores_.push_back(
+        std::make_unique<SnitchCore>(cfg_, static_cast<u16>(c), c / cfg_.cores_per_tile));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+SpmBank& Cluster::bank(u32 tile, u32 bank_in_tile) {
+  return banks_[static_cast<std::size_t>(tile) * cfg_.banks_per_tile + bank_in_tile];
+}
+
+void Cluster::load_program(const isa::Program& program) {
+  image_ = std::make_unique<DecodedImage>(program);
+  for (const isa::Segment& seg : program.segments()) {
+    write_words(seg.base, seg.words);
+  }
+  // Stacks live in the tile-sequential region: each core gets an equal
+  // slice of its tile's sequential bytes, stack growing down from the top.
+  const u32 stack_bytes =
+      static_cast<u32>(cfg_.seq_bytes_per_tile / cfg_.cores_per_tile);
+  for (u32 c = 0; c < cfg_.num_cores(); ++c) {
+    const u32 tile = c / cfg_.cores_per_tile;
+    const u32 lane = c % cfg_.cores_per_tile;
+    const u32 sp = map_.seq_base(tile) + (lane + 1) * stack_bytes;
+    cores_[c]->attach(this, icaches_[tile].get(), image_.get());
+    cores_[c]->reset(program.entry(), sp);
+  }
+  for (auto& icache : icaches_) {
+    icache->flush();
+  }
+  cycle_ = 0;
+  eoc_ = false;
+  eoc_code_ = 0;
+  markers_.clear();
+  console_.clear();
+  ctrl_queue_.clear();
+  activity_ = 0;
+  last_activity_value_ = 0;
+  last_activity_cycle_ = 0;
+}
+
+void Cluster::warm_icaches() {
+  // Mark every line of every loaded code segment present in all tiles.
+  // (Direct-mapped aliasing means large programs may still miss; the
+  // paper's kernels fit the 2 KiB cache.)
+  MP3D_CHECK(image_ != nullptr, "load a program before warming icaches");
+  for (u32 t = 0; t < cfg_.num_tiles(); ++t) {
+    TileICache& icache = *icaches_[t];
+    for (u32 pc = cfg_.gmem_base; pc < cfg_.gmem_base + MiB(1); pc += icache.line_bytes()) {
+      if (image_->lookup(pc) != nullptr) {
+        icache.warm(pc);
+      }
+    }
+  }
+}
+
+u32 Cluster::read_word(u32 addr) const {
+  switch (map_.classify(addr)) {
+    case Region::kSpmSeq:
+    case Region::kSpmInterleaved: {
+      const BankTarget t = map_.spm_target(addr);
+      return banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank]
+          .read_row(t.row);
+    }
+    case Region::kGmem:
+      return gmem_->read_word(addr);
+    default:
+      MP3D_CHECK(false, "host read from unmapped address 0x" << std::hex << addr);
+      return 0;
+  }
+}
+
+void Cluster::write_word(u32 addr, u32 value) {
+  switch (map_.classify(addr)) {
+    case Region::kSpmSeq:
+    case Region::kSpmInterleaved: {
+      const BankTarget t = map_.spm_target(addr);
+      banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank].write_row(
+          t.row, value);
+      return;
+    }
+    case Region::kGmem:
+      gmem_->write_word(addr, value);
+      return;
+    default:
+      MP3D_CHECK(false, "host write to unmapped address 0x" << std::hex << addr);
+  }
+}
+
+void Cluster::write_words(u32 addr, const std::vector<u32>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write_word(addr + static_cast<u32>(i) * 4, words[i]);
+  }
+}
+
+std::vector<u32> Cluster::read_words(u32 addr, std::size_t count) const {
+  std::vector<u32> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(read_word(addr + static_cast<u32>(i) * 4));
+  }
+  return out;
+}
+
+void Cluster::activate_bank(u32 global_bank) {
+  if (bank_active_flag_[global_bank] == 0) {
+    bank_active_flag_[global_bank] = 1;
+    active_banks_.push_back(global_bank);
+  }
+}
+
+IssueResult Cluster::issue_mem(const MemRequest& request) {
+  const u32 src_tile = cores_[request.core]->tile_id();
+  switch (map_.classify(request.addr)) {
+    case Region::kSpmSeq:
+    case Region::kSpmInterleaved: {
+      const BankTarget t = map_.spm_target(request.addr);
+      BankRequest breq;
+      breq.req = request;
+      breq.row = t.row;
+      if (t.tile == src_tile) {
+        breq.req.ready_at = cycle_ + 1;  // local crossbar: bank sees it next cycle
+        const u32 gb = t.tile * cfg_.banks_per_tile + t.bank;
+        banks_[gb].push(std::move(breq));
+        activate_bank(gb);
+        ++activity_;
+        return IssueResult::kAccepted;
+      }
+      const u32 net = noc_->network(src_tile, t.tile);
+      if (!noc_->can_push_request(src_tile, net)) {
+        return IssueResult::kPortBusy;
+      }
+      breq.req.ready_at = cycle_;  // network stamps its own latency
+      noc_->push_request(src_tile, t.tile, std::move(breq));
+      ++activity_;
+      return IssueResult::kAccepted;
+    }
+    case Region::kCtrl: {
+      MemRequest copy = request;
+      copy.ready_at = cycle_ + 1;
+      ctrl_queue_.push_back(copy);
+      ++activity_;
+      return IssueResult::kAccepted;
+    }
+    case Region::kGmem: {
+      gmem_->enqueue(request, cycle_);
+      ++activity_;
+      return IssueResult::kAccepted;
+    }
+    case Region::kInvalid:
+    default: {
+      std::ostringstream oss;
+      oss << "access to unmapped address 0x" << std::hex << request.addr;
+      cores_[request.core]->fault(oss.str());
+      // Accepted-and-faulted: the core halts; no response will arrive.
+      return IssueResult::kAccepted;
+    }
+  }
+}
+
+void Cluster::request_icache_refill(u32 tile, u32 pc) {
+  TileICache& icache = *icaches_[tile];
+  icache.begin_refill(pc);
+  u32 token = 0;
+  if (!refill_free_.empty()) {
+    token = refill_free_.back();
+    refill_free_.pop_back();
+    refill_slots_[token] = {tile, icache.line_addr(pc)};
+  } else {
+    token = static_cast<u32>(refill_slots_.size());
+    refill_slots_.emplace_back(tile, icache.line_addr(pc));
+  }
+  gmem_->enqueue_refill(token, icache.line_bytes(), cycle_);
+  ++activity_;
+}
+
+void Cluster::deliver_response_to_core(const MemResponse& response) {
+  cores_[response.core]->deliver(response, cycle_);
+  ++activity_;
+}
+
+void Cluster::deliver_remote_request(u32 dst_tile, BankRequest&& request) {
+  const BankTarget t = map_.spm_target(request.req.addr);
+  MP3D_ASSERT(t.tile == dst_tile);
+  request.req.ready_at = cycle_;
+  const u32 gb = dst_tile * cfg_.banks_per_tile + t.bank;
+  banks_[gb].push(std::move(request));
+  activate_bank(gb);
+  ++activity_;
+}
+
+void Cluster::serve_banks() {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < active_banks_.size(); ++i) {
+    const u32 gb = active_banks_[i];
+    SpmBank& bank = banks_[gb];
+    const u32 bank_tile = gb / cfg_.banks_per_tile;
+    if (const BankRequest* front = bank.peek(cycle_); front != nullptr) {
+      const u32 dst_core_tile = cores_[front->req.core]->tile_id();
+      bool can_respond = true;
+      u32 net = 0;
+      if (dst_core_tile != bank_tile) {
+        net = noc_->network(bank_tile, dst_core_tile);
+        can_respond = noc_->can_push_response(bank_tile, net);
+      }
+      if (can_respond) {
+        std::optional<MemResponse> resp = bank.serve(cycle_);
+        MP3D_ASSERT(resp.has_value());
+        ++activity_;
+        if (dst_core_tile == bank_tile) {
+          deliver_response_to_core(*resp);
+        } else {
+          noc_->push_response(bank_tile, dst_core_tile, std::move(*resp));
+        }
+      }
+    }
+    if (bank.busy()) {
+      active_banks_[keep++] = gb;
+    } else {
+      bank_active_flag_[gb] = 0;
+    }
+  }
+  active_banks_.resize(keep);
+}
+
+void Cluster::ctrl_access(const MemRequest& request) {
+  const u32 offset = request.addr - cfg_.ctrl_base;
+  MemResponse resp;
+  resp.core = request.core;
+  resp.tag = request.tag;
+  resp.is_store = isa::is_store(request.op);
+  resp.ready_at = cycle_;
+  const bool is_write = isa::is_store(request.op);
+  switch (offset) {
+    case ctrl::kEoc:
+      if (is_write) {
+        eoc_ = true;
+        eoc_code_ = request.wdata;
+      }
+      break;
+    case ctrl::kWakeOne:
+      if (is_write && request.wdata < cores_.size()) {
+        cores_[request.wdata]->wake(cycle_);
+      }
+      break;
+    case ctrl::kWakeAll:
+      if (is_write) {
+        for (auto& core : cores_) {
+          if (core->global_id() != request.core) {
+            core->wake(cycle_);
+          }
+        }
+      }
+      break;
+    case ctrl::kPutChar:
+      if (is_write) {
+        console_.push_back(static_cast<char>(request.wdata & 0xFF));
+      }
+      break;
+    case ctrl::kCycle:
+      resp.rdata = static_cast<u32>(cycle_);
+      break;
+    case ctrl::kMarker:
+      if (is_write) {
+        markers_.push_back(RunResult::Marker{request.wdata, request.core, cycle_});
+      }
+      break;
+    case ctrl::kNumCores:
+      resp.rdata = cfg_.num_cores();
+      break;
+    case ctrl::kCoresPerTile:
+      resp.rdata = cfg_.cores_per_tile;
+      break;
+    case ctrl::kNumTiles:
+      resp.rdata = cfg_.num_tiles();
+      break;
+    default:
+      cores_[request.core]->fault("access to undefined ctrl register offset " +
+                                  std::to_string(offset));
+      return;
+  }
+  deliver_response_to_core(resp);
+}
+
+void Cluster::serve_ctrl() {
+  while (!ctrl_queue_.empty() && ctrl_queue_.front().ready_at <= cycle_) {
+    const MemRequest req = ctrl_queue_.front();
+    ctrl_queue_.pop_front();
+    ctrl_access(req);
+  }
+}
+
+void Cluster::step() {
+  ++cycle_;
+
+  // 1. Global memory: bandwidth-limited service; completions this cycle.
+  gmem_responses_.clear();
+  gmem_refills_.clear();
+  gmem_->step(cycle_, gmem_responses_, gmem_refills_);
+  for (const u32 token : gmem_refills_) {
+    const auto [tile, line_addr] = refill_slots_[token];
+    icaches_[tile]->finish_refill(line_addr);
+    refill_free_.push_back(token);
+    ++activity_;
+  }
+  for (const MemResponse& resp : gmem_responses_) {
+    deliver_response_to_core(resp);
+  }
+
+  // 2. Request network.
+  noc_->step_requests(cycle_, [this](u32 dst_tile, BankRequest&& breq) {
+    deliver_remote_request(dst_tile, std::move(breq));
+  });
+
+  // 3. Banks and control peripherals.
+  serve_banks();
+  serve_ctrl();
+
+  // 4. Response network.
+  noc_->step_responses(cycle_, [this](u32 /*dst_tile*/, MemResponse&& resp) {
+    deliver_response_to_core(resp);
+  });
+
+  // 5. Cores.
+  for (auto& core : cores_) {
+    core->step(cycle_);
+  }
+}
+
+bool Cluster::all_cores_halted() const {
+  return std::all_of(cores_.begin(), cores_.end(),
+                     [](const auto& c) { return c->halted(); });
+}
+
+std::string Cluster::deadlock_diagnostic() const {
+  std::ostringstream oss;
+  oss << "no progress for " << kDeadlockWindow << " cycles at cycle " << cycle_ << "\n";
+  u32 shown = 0;
+  for (const auto& core : cores_) {
+    if (shown >= 8) {
+      oss << "  ... (" << cores_.size() - shown << " more cores)\n";
+      break;
+    }
+    oss << "  core " << core->global_id() << ": state="
+        << static_cast<int>(core->state()) << " pc=0x" << std::hex << core->pc()
+        << std::dec << " outstanding=" << (core->lsu_idle() ? "no" : "yes") << "\n";
+    ++shown;
+  }
+  return oss.str();
+}
+
+RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycles*/) {
+  RunResult result;
+  result.cycles = cycle_;
+  result.eoc = eoc;
+  result.deadlock = deadlock;
+  result.hit_max_cycles = hit_max;
+  result.exit_code = eoc_code_;
+  result.markers = markers_;
+  result.console = console_;
+  result.core_exit_codes.reserve(cores_.size());
+  result.instret.reserve(cores_.size());
+  result.core_errors.resize(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    result.core_exit_codes.push_back(cores_[i]->exit_code());
+    result.instret.push_back(cores_[i]->instret());
+    result.core_errors[i] = cores_[i]->error_message();
+    cores_[i]->add_counters(result.counters);
+  }
+  u64 bank_accesses = 0;
+  u64 bank_conflicts = 0;
+  u64 bank_wait = 0;
+  for (const SpmBank& bank : banks_) {
+    bank_accesses += bank.accesses();
+    bank_conflicts += bank.conflicts();
+    bank_wait += bank.conflict_wait_cycles();
+  }
+  result.counters.set("bank.accesses", bank_accesses);
+  result.counters.set("bank.conflicts", bank_conflicts);
+  result.counters.set("bank.conflict_wait_cycles", bank_wait);
+  for (const auto& icache : icaches_) {
+    icache->add_counters(result.counters);
+  }
+  noc_->add_counters(result.counters);
+  gmem_->add_counters(result.counters);
+  result.counters.set("cycles", cycle_);
+  return result;
+}
+
+RunResult Cluster::run(u64 max_cycles) {
+  MP3D_CHECK(image_ != nullptr, "no program loaded");
+  while (cycle_ < max_cycles) {
+    step();
+    if (eoc_) {
+      return finish(true, false, false, max_cycles);
+    }
+    if (all_cores_halted()) {
+      return finish(false, false, false, max_cycles);
+    }
+    if (activity_ != last_activity_value_) {
+      last_activity_value_ = activity_;
+      last_activity_cycle_ = cycle_;
+    } else if (cycle_ - last_activity_cycle_ >= kDeadlockWindow) {
+      MP3D_WARN("deadlock: " << deadlock_diagnostic());
+      return finish(false, true, false, max_cycles);
+    }
+  }
+  return finish(false, false, true, max_cycles);
+}
+
+}  // namespace mp3d::arch

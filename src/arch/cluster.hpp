@@ -1,0 +1,165 @@
+// SPDX-License-Identifier: Apache-2.0
+// The MemPool cluster: cores, SPM banks, instruction caches, hierarchical
+// interconnect, control peripherals and bandwidth-limited global memory,
+// advanced together in a fixed per-cycle phase order:
+//
+//   global memory -> request network -> banks/ctrl -> response network -> cores
+//
+// This ordering yields the paper's zero-load latencies exactly: a local SPM
+// access issued in cycle n writes back in n+1 (1 cycle), a same-group
+// access in n+3, a remote-group access in n+5.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/addr_map.hpp"
+#include "arch/bank.hpp"
+#include "arch/core.hpp"
+#include "arch/decoded_image.hpp"
+#include "arch/global_mem.hpp"
+#include "arch/icache.hpp"
+#include "arch/interconnect.hpp"
+#include "arch/params.hpp"
+#include "isa/program.hpp"
+#include "sim/counters.hpp"
+
+namespace mp3d::arch {
+
+/// Control-peripheral register offsets (relative to ClusterConfig::ctrl_base).
+namespace ctrl {
+inline constexpr u32 kEoc = 0x00;        ///< W: end of computation, value = code
+inline constexpr u32 kWakeOne = 0x04;    ///< W: wake core <value>
+inline constexpr u32 kWakeAll = 0x08;    ///< W: wake every core except writer
+inline constexpr u32 kPutChar = 0x0C;    ///< W: append character to core's log
+inline constexpr u32 kCycle = 0x10;      ///< R: current cycle
+inline constexpr u32 kMarker = 0x14;     ///< W: record (value, core, cycle)
+inline constexpr u32 kNumCores = 0x18;   ///< R
+inline constexpr u32 kCoresPerTile = 0x1C;  ///< R
+inline constexpr u32 kNumTiles = 0x20;   ///< R
+inline constexpr u32 kBarrierBase = 0x24;  ///< R: reserved SPM addr for barriers
+}  // namespace ctrl
+
+struct RunResult {
+  u64 cycles = 0;
+  bool eoc = false;           ///< a core wrote the EOC register
+  bool deadlock = false;      ///< simulator detected lack of progress
+  bool hit_max_cycles = false;
+  u32 exit_code = 0;
+  std::vector<u32> core_exit_codes;
+  std::vector<u64> instret;
+  sim::CounterSet counters;
+
+  struct Marker {
+    u32 id = 0;
+    u16 core = 0;
+    u64 cycle = 0;
+  };
+  std::vector<Marker> markers;
+  std::string console;        ///< interleaved putchar output
+  std::vector<std::string> core_errors;  ///< non-empty for faulted cores
+
+  u64 total_instret() const;
+  double ipc() const;  ///< cluster-wide instructions per cycle
+  /// Cycle of the n-th occurrence of marker `id` (nullopt if absent).
+  std::optional<u64> marker_cycle(u32 id, std::size_t occurrence = 0) const;
+  /// All cycles at which marker `id` fired, in order.
+  std::vector<u64> marker_cycles(u32 id) const;
+  bool ok() const { return eoc && !deadlock && exit_code == 0; }
+};
+
+class Cluster : public MemIssueSink {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster() override;
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  const AddrMap& addr_map() const { return map_; }
+
+  /// Load a program image: code/data into global memory or SPM by address,
+  /// reset all cores to the entry point, clear caches and statistics.
+  void load_program(const isa::Program& program);
+
+  /// Run until EOC / all cores halted / deadlock / `max_cycles`.
+  RunResult run(u64 max_cycles);
+
+  /// Single-step one cycle (exposed for tests and interactive tools).
+  void step();
+  sim::Cycle now() const { return cycle_; }
+
+  // ---- host backdoor access ------------------------------------------------
+  u32 read_word(u32 addr) const;
+  void write_word(u32 addr, u32 value);
+  void write_words(u32 addr, const std::vector<u32>& words);
+  std::vector<u32> read_words(u32 addr, std::size_t count) const;
+
+  // ---- component access (tests, calibration) --------------------------------
+  SnitchCore& core(u32 global_id) { return *cores_[global_id]; }
+  const SnitchCore& core(u32 global_id) const { return *cores_[global_id]; }
+  SpmBank& bank(u32 tile, u32 bank_in_tile);
+  TileICache& icache(u32 tile) { return *icaches_[tile]; }
+  GlobalMemory& gmem() { return *gmem_; }
+  Interconnect& interconnect() { return *noc_; }
+
+  /// Pre-warm all instruction caches with every code segment (the paper
+  /// measures compute phases with a hot I$).
+  void warm_icaches();
+
+  // ---- MemIssueSink ----------------------------------------------------------
+  IssueResult issue_mem(const MemRequest& request) override;
+  void request_icache_refill(u32 tile, u32 pc) override;
+
+ private:
+  void serve_banks();
+  void serve_ctrl();
+  void ctrl_access(const MemRequest& request);
+  void deliver_response_to_core(const MemResponse& response);
+  void deliver_remote_request(u32 dst_tile, BankRequest&& request);
+  void activate_bank(u32 global_bank);
+  RunResult finish(bool eoc, bool deadlock, bool hit_max, u64 max_cycles);
+  bool all_cores_halted() const;
+  std::string deadlock_diagnostic() const;
+
+  ClusterConfig cfg_;
+  AddrMap map_;
+  sim::Cycle cycle_ = 0;
+
+  std::vector<std::unique_ptr<SnitchCore>> cores_;
+  std::vector<SpmBank> banks_;
+  std::vector<std::unique_ptr<TileICache>> icaches_;
+  std::unique_ptr<Interconnect> noc_;
+  std::unique_ptr<GlobalMemory> gmem_;
+  std::unique_ptr<DecodedImage> image_;
+
+  // Bank scheduling: only banks with queued work are visited.
+  std::vector<u32> active_banks_;
+  std::vector<u8> bank_active_flag_;
+
+  // Control peripheral state.
+  std::deque<MemRequest> ctrl_queue_;
+  bool eoc_ = false;
+  u32 eoc_code_ = 0;
+  std::vector<RunResult::Marker> markers_;
+  std::string console_;
+
+  // Pending icache refills: token -> (tile, line address).
+  std::vector<std::pair<u32, u32>> refill_slots_;
+  std::vector<u32> refill_free_;
+
+  // Reused buffers for gmem completions.
+  std::vector<MemResponse> gmem_responses_;
+  std::vector<u32> gmem_refills_;
+
+  // Progress tracking for deadlock detection.
+  u64 activity_ = 0;
+  u64 last_activity_value_ = 0;
+  sim::Cycle last_activity_cycle_ = 0;
+  static constexpr u64 kDeadlockWindow = 20000;
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,56 @@
+// SPDX-License-Identifier: Apache-2.0
+// Pre-decoded program image. The ISS decodes each segment once at load
+// time; fetch is then a bounds check plus an array index. Self-modifying
+// code is not supported (stores to fetched segments are not reflected; the
+// MemPool runtime never does this).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+
+namespace mp3d::arch {
+
+class DecodedImage {
+ public:
+  explicit DecodedImage(const isa::Program& program) {
+    for (const isa::Segment& seg : program.segments()) {
+      DecodedSegment d;
+      d.base = seg.base;
+      d.end = seg.end();
+      d.instrs.reserve(seg.words.size());
+      for (const u32 w : seg.words) {
+        d.instrs.push_back(isa::decode(w));
+      }
+      segments_.push_back(std::move(d));
+    }
+  }
+
+  /// Returns nullptr when pc is outside every segment.
+  const isa::Instr* lookup(u32 pc) const {
+    // Common case: sequential execution within one segment.
+    if (cached_ != nullptr && pc >= cached_->base && pc < cached_->end) {
+      return &cached_->instrs[(pc - cached_->base) / 4];
+    }
+    for (const DecodedSegment& seg : segments_) {
+      if (pc >= seg.base && pc < seg.end) {
+        cached_ = &seg;
+        return &seg.instrs[(pc - seg.base) / 4];
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  struct DecodedSegment {
+    u32 base = 0;
+    u32 end = 0;
+    std::vector<isa::Instr> instrs;
+  };
+  std::vector<DecodedSegment> segments_;
+  mutable const DecodedSegment* cached_ = nullptr;
+};
+
+}  // namespace mp3d::arch

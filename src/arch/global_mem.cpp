@@ -1,0 +1,173 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/global_mem.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp3d::arch {
+
+GlobalMemory::GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency)
+    : base_(base), size_(size), bytes_per_cycle_(bytes_per_cycle), latency_(latency) {}
+
+u32& GlobalMemory::word_ref(u32 addr) {
+  MP3D_ASSERT_MSG(addr >= base_ && static_cast<u64>(addr) - base_ < size_,
+                  "gmem address out of range: 0x" << std::hex << addr);
+  const u32 word = (addr - base_) / 4;
+  const u32 page = word / kPageWords;
+  auto& storage = pages_[page];
+  if (storage.empty()) {
+    storage.assign(kPageWords, 0);
+  }
+  return storage[word % kPageWords];
+}
+
+u32 GlobalMemory::word_at(u32 addr) const {
+  MP3D_ASSERT_MSG(addr >= base_ && static_cast<u64>(addr) - base_ < size_,
+                  "gmem address out of range: 0x" << std::hex << addr);
+  const u32 word = (addr - base_) / 4;
+  const auto it = pages_.find(word / kPageWords);
+  if (it == pages_.end() || it->second.empty()) {
+    return 0;
+  }
+  return it->second[word % kPageWords];
+}
+
+u32 GlobalMemory::read_word(u32 addr) const { return word_at(addr & ~3U); }
+
+void GlobalMemory::write_word(u32 addr, u32 value) { word_ref(addr & ~3U) = value; }
+
+void GlobalMemory::write_block(u32 addr, const std::vector<u32>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write_word(addr + static_cast<u32>(i) * 4, words[i]);
+  }
+}
+
+void GlobalMemory::enqueue(const MemRequest& request, sim::Cycle /*now*/) {
+  Item item;
+  item.is_refill = false;
+  item.bytes = request.size == MemSize::kWord ? 4 : (request.size == MemSize::kHalf ? 2 : 1);
+  // The off-chip port moves whole words; sub-word accesses still occupy a
+  // word slot on the bus.
+  item.bytes = 4;
+  item.req = request;
+  queue_.push_back(item);
+}
+
+void GlobalMemory::enqueue_refill(u32 token, u32 bytes, sim::Cycle /*now*/) {
+  Item item;
+  item.is_refill = true;
+  item.bytes = bytes;
+  item.token = token;
+  queue_.push_back(item);
+}
+
+u32 GlobalMemory::amo_or_access(const MemRequest& req) {
+  using isa::Op;
+  u32& word = word_ref(req.addr & ~3U);
+  const u32 shift = (req.addr & 3U) * 8;
+  switch (req.op) {
+    case Op::kLb:
+    case Op::kLbu: {
+      u32 v = (word >> shift) & 0xFFU;
+      if (req.op == Op::kLb) {
+        v = static_cast<u32>(static_cast<i32>(v << 24) >> 24);
+      }
+      return v;
+    }
+    case Op::kLh:
+    case Op::kLhu: {
+      u32 v = (word >> shift) & 0xFFFFU;
+      if (req.op == Op::kLh) {
+        v = static_cast<u32>(static_cast<i32>(v << 16) >> 16);
+      }
+      return v;
+    }
+    case Op::kLw:
+    case Op::kPLwPost:
+    case Op::kPLwRPost:
+    case Op::kLrW:
+      return word;
+    case Op::kSb: {
+      const u32 mask = 0xFFU << shift;
+      word = (word & ~mask) | ((req.wdata & 0xFFU) << shift);
+      return 0;
+    }
+    case Op::kSh: {
+      const u32 mask = 0xFFFFU << shift;
+      word = (word & ~mask) | ((req.wdata & 0xFFFFU) << shift);
+      return 0;
+    }
+    case Op::kSw:
+    case Op::kPSwPost:
+      word = req.wdata;
+      return 0;
+    default: {
+      // AMOs on global memory are rare but legal; perform them atomically
+      // (the FIFO service point is a natural serialization point).
+      const u32 old = word;
+      const i32 olds = static_cast<i32>(old);
+      const i32 rhs = static_cast<i32>(req.wdata);
+      switch (req.op) {
+        case Op::kAmoSwapW: word = req.wdata; break;
+        case Op::kAmoAddW: word = old + req.wdata; break;
+        case Op::kAmoXorW: word = old ^ req.wdata; break;
+        case Op::kAmoAndW: word = old & req.wdata; break;
+        case Op::kAmoOrW: word = old | req.wdata; break;
+        case Op::kAmoMinW: word = static_cast<u32>(std::min(olds, rhs)); break;
+        case Op::kAmoMaxW: word = static_cast<u32>(std::max(olds, rhs)); break;
+        case Op::kAmoMinuW: word = std::min(old, req.wdata); break;
+        case Op::kAmoMaxuW: word = std::max(old, req.wdata); break;
+        case Op::kScW: word = req.wdata; return 0;  // success (no remote LR tracking)
+        default: MP3D_UNREACHABLE("unsupported gmem op");
+      }
+      return old;
+    }
+  }
+}
+
+void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
+                        std::vector<u32>& refills) {
+  // Refresh the cycle's byte budget. Bandwidth does not accumulate across
+  // idle cycles (a DDR channel cannot bank unused cycles).
+  budget_ = bytes_per_cycle_;
+  bool was_busy = !queue_.empty();
+  while (!queue_.empty() && budget_ > 0) {
+    Item& head = queue_.front();
+    const u32 take = static_cast<u32>(std::min<u64>(budget_, head.bytes));
+    head.bytes -= take;
+    budget_ -= take;
+    bytes_transferred_ += take;
+    if (head.bytes == 0) {
+      in_flight_.push_back(InFlight{now + latency_, head});
+      queue_.pop_front();
+      ++requests_served_;
+    }
+  }
+  if (was_busy) {
+    ++busy_cycles_;
+  }
+  while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
+    Item item = in_flight_.front().item;
+    in_flight_.pop_front();
+    if (item.is_refill) {
+      refills.push_back(item.token);
+      continue;
+    }
+    MemResponse resp;
+    resp.core = item.req.core;
+    resp.tag = item.req.tag;
+    resp.is_store = isa::is_store(item.req.op);
+    resp.rdata = amo_or_access(item.req);
+    resp.ready_at = now;
+    responses.push_back(resp);
+  }
+}
+
+void GlobalMemory::add_counters(sim::CounterSet& counters) const {
+  counters.set("gmem.bytes", bytes_transferred_);
+  counters.set("gmem.busy_cycles", busy_cycles_);
+  counters.set("gmem.requests", requests_served_);
+}
+
+}  // namespace mp3d::arch

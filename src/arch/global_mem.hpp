@@ -1,0 +1,79 @@
+// SPDX-License-Identifier: Apache-2.0
+// Bandwidth-limited global ("off-chip") memory model.
+//
+// The paper idealizes off-chip latency and sweeps only the bandwidth
+// (4..64 B/cycle); we do the same: a FIFO request stream is served from a
+// per-cycle byte budget, plus a small fixed latency. Storage is sparse so a
+// 64 MiB window costs only what is touched.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/mem_types.hpp"
+#include "arch/params.hpp"
+#include "sim/counters.hpp"
+
+namespace mp3d::arch {
+
+class GlobalMemory {
+ public:
+  GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency);
+
+  // ---- functional backdoor (host access, program loading) ----------------
+  u32 read_word(u32 addr) const;
+  void write_word(u32 addr, u32 value);
+  void write_block(u32 addr, const std::vector<u32>& words);
+
+  // ---- timed interface -----------------------------------------------------
+  /// Enqueue a scalar request (always accepted; the paper's model has no
+  /// request-channel back-pressure, only a bandwidth cap).
+  void enqueue(const MemRequest& request, sim::Cycle now);
+
+  /// Enqueue an instruction-cache line refill of `bytes`; `token`
+  /// identifies the refill to the caller.
+  void enqueue_refill(u32 token, u32 bytes, sim::Cycle now);
+
+  /// Advance one cycle; completed scalar responses are appended to
+  /// `responses`, completed refill tokens to `refills`.
+  void step(sim::Cycle now, std::vector<MemResponse>& responses,
+            std::vector<u32>& refills);
+
+  bool idle() const { return queue_.empty() && in_flight_.empty(); }
+  u64 bytes_transferred() const { return bytes_transferred_; }
+  void add_counters(sim::CounterSet& counters) const;
+
+ private:
+  struct Item {
+    bool is_refill = false;
+    u32 bytes = 0;
+    MemRequest req;
+    u32 token = 0;
+  };
+  struct InFlight {
+    sim::Cycle done_at;
+    Item item;
+  };
+
+  u32 amo_or_access(const MemRequest& req);
+
+  u32 base_;
+  u64 size_;
+  u32 bytes_per_cycle_;
+  u32 latency_;
+  u64 budget_ = 0;  ///< carried byte budget within the current cycle only
+  std::deque<Item> queue_;
+  std::deque<InFlight> in_flight_;
+  std::unordered_map<u32, std::vector<u32>> pages_;
+  u64 bytes_transferred_ = 0;
+  u64 busy_cycles_ = 0;
+  u64 requests_served_ = 0;
+
+  static constexpr u32 kPageWords = 16384;  ///< 64 KiB pages
+
+  u32& word_ref(u32 addr);
+  u32 word_at(u32 addr) const;
+};
+
+}  // namespace mp3d::arch

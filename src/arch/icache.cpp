@@ -1,0 +1,60 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/icache.hpp"
+
+#include "common/assert.hpp"
+
+namespace mp3d::arch {
+
+TileICache::TileICache(u64 size_bytes, u32 line_bytes, bool perfect)
+    : line_bytes_(line_bytes),
+      num_lines_(static_cast<u32>(size_bytes / line_bytes)),
+      perfect_(perfect),
+      tags_(num_lines_, 0),
+      valid_(num_lines_, false) {
+  MP3D_CHECK(num_lines_ >= 1, "icache needs at least one line");
+}
+
+bool TileICache::present(u32 pc) const {
+  if (perfect_) {
+    return true;
+  }
+  const u32 idx = index_of(pc);
+  return valid_[idx] && tags_[idx] == line_addr(pc);
+}
+
+bool TileICache::miss_pending(u32 pc) const {
+  return pending_.find(line_addr(pc)) != pending_.end();
+}
+
+void TileICache::begin_refill(u32 pc) {
+  MP3D_ASSERT(!perfect_);
+  pending_.insert(line_addr(pc));
+}
+
+void TileICache::finish_refill(u32 line) {
+  pending_.erase(line);
+  const u32 idx = index_of(line);
+  tags_[idx] = line;
+  valid_[idx] = true;
+}
+
+void TileICache::flush() {
+  valid_.assign(num_lines_, false);
+  pending_.clear();
+}
+
+void TileICache::warm(u32 pc) {
+  if (perfect_) {
+    return;
+  }
+  const u32 idx = index_of(pc);
+  tags_[idx] = line_addr(pc);
+  valid_[idx] = true;
+}
+
+void TileICache::add_counters(sim::CounterSet& counters) const {
+  counters.bump("icache.hits", hits_);
+  counters.bump("icache.misses", misses_);
+}
+
+}  // namespace mp3d::arch

@@ -1,0 +1,64 @@
+// SPDX-License-Identifier: Apache-2.0
+// Per-tile shared L1 instruction cache (2 KiB in the paper's tile).
+//
+// Timing-only model: instruction *bits* come from the pre-decoded program
+// image; the cache decides whether a fetch hits, and coordinates line
+// refills (which consume off-chip bandwidth). Direct-mapped, one
+// outstanding refill per line with MSHR-style merging across the tile's
+// four cores.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/counters.hpp"
+
+namespace mp3d::arch {
+
+class TileICache {
+ public:
+  TileICache(u64 size_bytes, u32 line_bytes, bool perfect);
+
+  /// True if the fetch at `pc` hits (perfect caches always hit).
+  bool present(u32 pc) const;
+
+  /// True if the line containing `pc` has a refill in flight.
+  bool miss_pending(u32 pc) const;
+
+  /// Mark the line as being refilled. Pre: !present && !miss_pending.
+  void begin_refill(u32 pc);
+
+  /// Install the line after the refill completes.
+  void finish_refill(u32 line_addr);
+
+  /// Invalidate all contents (used between benchmark phases).
+  void flush();
+
+  /// Pre-warm the line containing `pc` (hot-cache measurements, as in the
+  /// paper's compute-phase methodology).
+  void warm(u32 pc);
+
+  u32 line_addr(u32 pc) const { return pc & ~(line_bytes_ - 1); }
+  u32 line_bytes() const { return line_bytes_; }
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  void count_hit() { ++hits_; }
+  void count_miss() { ++misses_; }
+  void add_counters(sim::CounterSet& counters) const;
+
+ private:
+  u32 index_of(u32 pc) const { return (pc / line_bytes_) % num_lines_; }
+
+  u32 line_bytes_;
+  u32 num_lines_;
+  bool perfect_;
+  std::vector<u32> tags_;   ///< line address per slot
+  std::vector<bool> valid_;
+  std::unordered_set<u32> pending_;  ///< line addresses being refilled
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: Apache-2.0
+// MemPool's hierarchical interconnect.
+//
+// Topology (paper §II-B): within a group, tiles reach each other through a
+// "local" 16x16 radix-4 butterfly; the four groups are connected pairwise
+// by three further networks ("east", "north", "northeast" — one per group
+// XOR distance in the 2x2 arrangement). Each tile owns, per network, one
+// remote request port and one remote response port.
+//
+// Model: per (tile, network, direction) an egress queue (1 flit/cycle
+// drain, finite depth = back-pressure to the cores) feeding a pipeline of
+// `local_net_pipe` / `global_net_pipe` register stages; delivery at the
+// destination is limited to one flit per (tile, network, direction) per
+// cycle (the tile's single remote port), with head-of-line blocking —
+// the first-order contention behaviour of the butterfly under the paper's
+// interleaved-SPM traffic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "arch/bank.hpp"
+#include "arch/mem_types.hpp"
+#include "arch/params.hpp"
+#include "sim/counters.hpp"
+#include "sim/delay_pipe.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::arch {
+
+class Interconnect {
+ public:
+  static constexpr u32 kNumNetworks = 4;  ///< local + 3 inter-group
+
+  explicit Interconnect(const ClusterConfig& cfg);
+
+  /// Network used from tile `src` to tile `dst` (must differ in tile or
+  /// group): 0 = intra-group butterfly, 1..3 = inter-group (group XOR).
+  u32 network(u32 src_tile, u32 dst_tile) const;
+
+  /// Zero-load one-way latency of `net` in cycles (pipe stages).
+  u32 pipe_latency(u32 net) const { return net == 0 ? local_pipe_ : global_pipe_; }
+
+  bool can_push_request(u32 src_tile, u32 net) const;
+  bool can_push_response(u32 src_tile, u32 net) const;
+
+  /// Pre: can_push_request(src_tile, net).
+  void push_request(u32 src_tile, u32 dst_tile, BankRequest&& request);
+  /// Pre: can_push_response(src_tile, net).
+  void push_response(u32 src_tile, u32 dst_tile, MemResponse&& response);
+
+  using RequestSink = std::function<void(u32 dst_tile, BankRequest&&)>;
+  using ResponseSink = std::function<void(u32 dst_tile, MemResponse&&)>;
+
+  /// Move request flits one cycle: inject from egress queues into the
+  /// pipes, then deliver arrived flits (ingress-port limited).
+  void step_requests(sim::Cycle now, const RequestSink& sink);
+  void step_responses(sim::Cycle now, const ResponseSink& sink);
+
+  bool idle() const;
+  void add_counters(sim::CounterSet& counters) const;
+
+ private:
+  template <typename T>
+  struct Flit {
+    u32 dst = 0;
+    T payload;
+  };
+
+  template <typename T>
+  struct Port {
+    explicit Port(std::size_t depth, u32 latency) : queue(depth), pipe(latency) {}
+    sim::BoundedQueue<Flit<T>> queue;
+    sim::DelayPipe<Flit<T>> pipe;
+  };
+
+  u32 port_index(u32 tile, u32 net) const { return tile * kNumNetworks + net; }
+
+  template <typename T, typename SinkT>
+  void step_ports(std::vector<Port<T>>& ports, sim::Cycle now, const SinkT& sink,
+                  std::vector<u8>& ingress_budget, u64& moved, u64& hol_blocked);
+
+  u32 tiles_per_group_;
+  u32 num_tiles_;
+  u32 local_pipe_;
+  u32 global_pipe_;
+
+  std::vector<Port<BankRequest>> req_ports_;
+  std::vector<Port<MemResponse>> resp_ports_;
+  std::vector<u8> req_ingress_budget_;   ///< per (tile, net), reset each cycle
+  std::vector<u8> resp_ingress_budget_;
+
+  u64 req_flits_ = 0;
+  u64 resp_flits_ = 0;
+  u64 req_hol_blocked_ = 0;
+  u64 resp_hol_blocked_ = 0;
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,86 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/params.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mp3d::arch {
+
+void ClusterConfig::validate() const {
+  MP3D_CHECK(num_groups >= 1 && num_groups <= 4, "1..4 groups supported");
+  MP3D_CHECK(num_groups == 1 || num_groups == 2 || num_groups == 4,
+             "groups must be 1, 2 or 4 (2x2 arrangement)");
+  MP3D_CHECK(tiles_per_group >= 1, "need at least one tile per group");
+  MP3D_CHECK(is_pow2(tiles_per_group), "tiles per group must be a power of two");
+  MP3D_CHECK(cores_per_tile >= 1 && cores_per_tile <= 8, "1..8 cores per tile");
+  MP3D_CHECK(is_pow2(banks_per_tile), "banks per tile must be a power of two");
+  MP3D_CHECK(banks_per_tile >= cores_per_tile,
+             "banking factor must be at least 1 (banks >= cores per tile)");
+  MP3D_CHECK(spm_capacity % (static_cast<u64>(num_banks()) * 4) == 0,
+             "SPM capacity must evenly split into word-granular banks");
+  MP3D_CHECK(bank_bytes() >= 256, "banks smaller than 256 B are not meaningful");
+  MP3D_CHECK(seq_region_bytes() < spm_capacity,
+             "sequential region must leave room for the interleaved region");
+  MP3D_CHECK(seq_bytes_per_tile % (static_cast<u64>(banks_per_tile) * 4) == 0,
+             "sequential region must evenly split across a tile's banks");
+  MP3D_CHECK(is_pow2(icache_line) && icache_line >= 8, "icache line: pow2, >= 8 B");
+  MP3D_CHECK(icache_size % icache_line == 0, "icache size % line == 0");
+  MP3D_CHECK(gmem_bytes_per_cycle >= 1, "off-chip bandwidth must be positive");
+  MP3D_CHECK(lsu_max_outstanding >= 1 && lsu_max_outstanding <= 32,
+             "LSU outstanding must be in 1..32");
+  MP3D_CHECK(mul_latency >= 1, "multiplier latency must be at least one cycle");
+  MP3D_CHECK(local_net_pipe >= 1 && global_net_pipe >= 1,
+             "network pipes need at least one register stage");
+  MP3D_CHECK(gmem_size >= MiB(1), "global memory window too small");
+  MP3D_CHECK(port_queue_depth >= 1, "port queues need at least one entry");
+}
+
+std::string ClusterConfig::to_string() const {
+  std::ostringstream oss;
+  oss << "MemPool cluster: " << num_cores() << " cores (" << num_groups << " groups x "
+      << tiles_per_group << " tiles x " << cores_per_tile << " cores), "
+      << num_banks() << " banks, SPM " << spm_capacity / 1024 << " KiB ("
+      << bank_bytes() / 1024.0 << " KiB/bank), off-chip " << gmem_bytes_per_cycle
+      << " B/cycle";
+  return oss.str();
+}
+
+ClusterConfig ClusterConfig::mempool(u64 spm_capacity) {
+  ClusterConfig cfg;
+  cfg.spm_capacity = spm_capacity;
+  // Keep the tile-sequential (stack) region lean: the paper's matmul tiles
+  // fill up to 96 % of the SPM, so the interleaved region must hold
+  // 3*t^2*4 B (768 KiB for the 1 MiB configuration).
+  cfg.seq_bytes_per_tile = KiB(1);
+  cfg.validate();
+  return cfg;
+}
+
+ClusterConfig ClusterConfig::mini(u64 spm_capacity) {
+  ClusterConfig cfg;
+  cfg.num_groups = 1;
+  cfg.tiles_per_group = 4;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.spm_capacity = spm_capacity;
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.validate();
+  return cfg;
+}
+
+ClusterConfig ClusterConfig::tiny() {
+  ClusterConfig cfg;
+  cfg.num_groups = 1;
+  cfg.tiles_per_group = 1;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.spm_capacity = KiB(16);
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace mp3d::arch

@@ -1,0 +1,85 @@
+// SPDX-License-Identifier: Apache-2.0
+// Cluster configuration: architectural and timing parameters of the MemPool
+// many-core cluster (MemPool DATE'21 [9], MemPool-3D DATE'22).
+//
+// The default configuration is the paper's: 256 Snitch-like cores in 64
+// tiles (4 groups x 16 tiles), 16 SPM banks per tile (banking factor 4),
+// and a three-level interconnect with 1/3/5-cycle zero-load load latency
+// (local tile / same group / remote group).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace mp3d::arch {
+
+struct ClusterConfig {
+  // ----- topology ---------------------------------------------------------
+  u32 num_groups = 4;        ///< groups per cluster (2x2 physical arrangement)
+  u32 tiles_per_group = 16;  ///< tiles per group (4x4 physical arrangement)
+  u32 cores_per_tile = 4;
+  u32 banks_per_tile = 16;
+
+  // ----- memory sizes -----------------------------------------------------
+  u64 spm_capacity = MiB(1);      ///< cluster-wide L1 SPM capacity
+  u64 seq_bytes_per_tile = KiB(4);  ///< tile-local sequential region (stacks)
+  u64 gmem_size = MiB(64);        ///< modeled off-chip memory window
+
+  // ----- address map ------------------------------------------------------
+  u32 spm_base = 0x0000'0000;
+  u32 ctrl_base = 0x4000'0000;
+  u32 gmem_base = 0x8000'0000;
+
+  // ----- interconnect timing ---------------------------------------------
+  // One-way pipeline latency of each network (register stages traversed by
+  // a request or response). Together with the single-cycle bank access this
+  // reproduces the paper's 1/3/5-cycle zero-load latency hierarchy.
+  u32 local_net_pipe = 1;   ///< same-group remote tile (local interconnect)
+  u32 global_net_pipe = 2;  ///< north/northeast/east inter-group networks
+  u32 port_queue_depth = 4; ///< per-tile per-network port queue entries
+
+  // ----- core timing ------------------------------------------------------
+  u32 lsu_max_outstanding = 8;  ///< scoreboarded in-flight memory operations
+  u32 taken_branch_penalty = 2;
+  u32 jump_penalty = 1;
+  u32 div_latency = 20;
+  u32 mul_latency = 1;
+
+  // ----- instruction cache -------------------------------------------------
+  bool perfect_icache = false;
+  u64 icache_size = KiB(2);   ///< per tile, shared by its cores
+  u32 icache_line = 32;       ///< bytes
+  u32 icache_refill_latency = 20;  ///< cycles on top of bandwidth effects
+
+  // ----- global (off-chip) memory -----------------------------------------
+  u32 gmem_bytes_per_cycle = 16;  ///< paper sweeps 4..64 B/cycle
+  u32 gmem_latency = 4;           ///< idealized, as in the paper's model
+
+  // ----- derived ----------------------------------------------------------
+  u32 num_tiles() const { return num_groups * tiles_per_group; }
+  u32 num_cores() const { return num_tiles() * cores_per_tile; }
+  u32 num_banks() const { return num_tiles() * banks_per_tile; }
+  u64 bank_bytes() const { return spm_capacity / num_banks(); }
+  u32 bank_words() const { return static_cast<u32>(bank_bytes() / 4); }
+  u64 spm_bytes_per_tile() const { return spm_capacity / num_tiles(); }
+  u64 seq_region_bytes() const { return seq_bytes_per_tile * num_tiles(); }
+  /// Bytes of the interleaved SPM region (after the sequential region).
+  u64 interleaved_bytes() const { return spm_capacity - seq_region_bytes(); }
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+
+  std::string to_string() const;
+
+  // ----- presets ----------------------------------------------------------
+  /// The paper's full MemPool cluster with the given SPM capacity
+  /// (1/2/4/8 MiB in the paper).
+  static ClusterConfig mempool(u64 spm_capacity = MiB(1));
+  /// A scaled-down cluster (1 group, 4 tiles, 16 cores) for fast tests.
+  static ClusterConfig mini(u64 spm_capacity = KiB(64));
+  /// Single tile, 4 cores: smallest functional configuration.
+  static ClusterConfig tiny();
+};
+
+}  // namespace mp3d::arch

@@ -1,0 +1,56 @@
+// SPDX-License-Identifier: Apache-2.0
+// Assertion macros used across the library.
+//
+// MP3D_ASSERT   — internal invariant; active in all build types (the
+//                 simulator is a correctness tool, so silent corruption is
+//                 worse than the negligible branch cost).
+// MP3D_CHECK    — precondition on user-supplied input; throws
+//                 std::invalid_argument so callers can recover.
+// MP3D_UNREACHABLE — marks impossible control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mp3d {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "mp3d: assertion failed: %s\n  at %s:%d\n", expr, file, line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "  %s\n", msg.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace mp3d
+
+#define MP3D_ASSERT(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::mp3d::assert_fail(#expr, __FILE__, __LINE__, {});       \
+    }                                                           \
+  } while (false)
+
+#define MP3D_ASSERT_MSG(expr, msg)                              \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      std::ostringstream mp3d_oss_;                             \
+      mp3d_oss_ << msg; /* NOLINT */                            \
+      ::mp3d::assert_fail(#expr, __FILE__, __LINE__, mp3d_oss_.str()); \
+    }                                                           \
+  } while (false)
+
+#define MP3D_CHECK(expr, msg)                                   \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      std::ostringstream mp3d_oss_;                             \
+      mp3d_oss_ << "mp3d: " << msg << " (violated: " #expr ")"; \
+      throw std::invalid_argument(mp3d_oss_.str());             \
+    }                                                           \
+  } while (false)
+
+#define MP3D_UNREACHABLE(msg) ::mp3d::assert_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,54 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace mp3d {
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      buffer_ += ',';
+    }
+    const std::string& c = cells[i];
+    const bool quote = c.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      buffer_ += '"';
+      for (const char ch : c) {
+        if (ch == '"') {
+          buffer_ += '"';
+        }
+        buffer_ += ch;
+      }
+      buffer_ += '"';
+    } else {
+      buffer_ += c;
+    }
+  }
+  buffer_ += '\n';
+}
+
+CsvWriter& CsvWriter::header(const std::vector<std::string>& cells) {
+  emit(cells);
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  emit(cells);
+  return *this;
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    MP3D_WARN("cannot open CSV output file " << path);
+    return false;
+  }
+  out << buffer_;
+  return static_cast<bool>(out);
+}
+
+}  // namespace mp3d

@@ -1,0 +1,25 @@
+// SPDX-License-Identifier: Apache-2.0
+// CSV writer: every bench also dumps its data as CSV next to the printed
+// table so results can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mp3d {
+
+class CsvWriter {
+ public:
+  CsvWriter& header(const std::vector<std::string>& cells);
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  const std::string& str() const { return buffer_; }
+  /// Write to file; returns false (and logs) on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::string buffer_;
+};
+
+}  // namespace mp3d

@@ -1,0 +1,36 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mp3d::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::kWarn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+bool enabled(Level level) { return level >= threshold(); }
+
+void write(Level level, const std::string& msg) {
+  std::fprintf(stderr, "[mp3d %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace mp3d::log

@@ -1,0 +1,37 @@
+// SPDX-License-Identifier: Apache-2.0
+// Minimal leveled logger. Single global sink (stderr); levels can be raised
+// for debugging simulator internals without recompiling call sites.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mp3d::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Current global threshold; messages below it are discarded.
+Level threshold();
+void set_threshold(Level level);
+
+/// Emit one message (no newline needed).
+void write(Level level, const std::string& msg);
+
+bool enabled(Level level);
+
+}  // namespace mp3d::log
+
+#define MP3D_LOG(level, expr)                                    \
+  do {                                                           \
+    if (::mp3d::log::enabled(level)) {                           \
+      std::ostringstream mp3d_log_oss_;                          \
+      mp3d_log_oss_ << expr; /* NOLINT */                        \
+      ::mp3d::log::write(level, mp3d_log_oss_.str());            \
+    }                                                            \
+  } while (false)
+
+#define MP3D_TRACE(expr) MP3D_LOG(::mp3d::log::Level::kTrace, expr)
+#define MP3D_DEBUG(expr) MP3D_LOG(::mp3d::log::Level::kDebug, expr)
+#define MP3D_INFO(expr) MP3D_LOG(::mp3d::log::Level::kInfo, expr)
+#define MP3D_WARN(expr) MP3D_LOG(::mp3d::log::Level::kWarn, expr)
+#define MP3D_ERROR(expr) MP3D_LOG(::mp3d::log::Level::kError, expr)

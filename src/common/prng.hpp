@@ -1,0 +1,76 @@
+// SPDX-License-Identifier: Apache-2.0
+// Deterministic PRNG (xoshiro256**). Simulation and workload generation must
+// be reproducible across platforms, so we do not use std::mt19937 default
+// seeding or distribution implementations that vary between standard
+// libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace mp3d {
+
+class Prng {
+ public:
+  explicit Prng(u64 seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // splitmix64 to expand the seed into the full state.
+    u64 x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31U);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17U;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32U); }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  u64 below(u64 bound) {
+    MP3D_ASSERT(bound > 0);
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      const u64 r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    MP3D_ASSERT(lo <= hi);
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53; }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4]{};
+};
+
+}  // namespace mp3d

@@ -1,0 +1,57 @@
+// SPDX-License-Identifier: Apache-2.0
+// Unit helpers: byte capacities, silicon geometry and gate equivalents.
+//
+// Conventions used throughout the library:
+//   - capacities      : bytes (u64), constructed via KiB()/MiB()
+//   - lengths         : millimetres (double)  [wire length also in mm]
+//   - areas           : square millimetres (double)
+//   - time            : nanoseconds (double); frequencies in GHz
+//   - power           : milliwatts (double); energy in nanojoules
+//   - logic complexity: gate equivalents (GE, one NAND2)
+#pragma once
+
+#include <cstdint>
+
+namespace mp3d {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+constexpr u64 KiB(u64 n) { return n * 1024ULL; }
+constexpr u64 MiB(u64 n) { return n * 1024ULL * 1024ULL; }
+
+/// Kilo-gate-equivalents, the paper's logic area unit.
+constexpr double kGE(double n) { return n * 1e3; }
+
+/// Square micrometres to square millimetres.
+constexpr double um2_to_mm2(double um2) { return um2 * 1e-6; }
+
+/// Micrometres to millimetres.
+constexpr double um_to_mm(double um) { return um * 1e-3; }
+
+/// True iff `v` is a power of two (and nonzero).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr u32 log2_exact(u64 v) {
+  u32 n = 0;
+  while (v > 1) {
+    v >>= 1U;
+    ++n;
+  }
+  return n;
+}
+
+/// Ceiling division for unsigned integers.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// Round `a` up to the next multiple of `b`.
+constexpr u64 round_up(u64 a, u64 b) { return ceil_div(a, b) * b; }
+
+}  // namespace mp3d

@@ -1,0 +1,95 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "core/coexplore.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "kernels/matmul.hpp"
+#include "model/calibration.hpp"
+
+namespace mp3d::core {
+
+CoExplorer::CoExplorer(const CoExploreOptions& options) : options_(options) {
+  for (const u64 mib : {1, 2, 4, 8}) {
+    const u64 capacity = MiB(mib);
+    const u32 t = kernels::MatmulParams::paper_tile_dim(capacity);
+    model::MatmulCalibration cal;
+    if (options_.measure_calibrations) {
+      arch::ClusterConfig cfg = arch::ClusterConfig::mempool(capacity);
+      cfg.gmem_size = MiB(64);
+      cal = model::calibrate_matmul(cfg, t);
+    } else {
+      cal = model::default_calibration(t);
+    }
+    calibrations_.emplace_back(capacity, cal);
+  }
+
+  for (const phys::ImplConfig& config : phys::paper_configs()) {
+    OperatingPoint p;
+    p.impl = phys::implement(config);
+    const auto it = std::find_if(
+        calibrations_.begin(), calibrations_.end(),
+        [&](const auto& kv) { return kv.first == config.spm_capacity; });
+    MP3D_ASSERT(it != calibrations_.end());
+    p.calibration = it->second;
+
+    model::MatmulWorkload w;
+    w.m = options_.m;
+    w.t = p.calibration.t;
+    w.cores = 256;
+    w.bw_bytes_per_cycle = options_.bw_bytes_per_cycle;
+    p.cycles = model::matmul_cycles(w, p.calibration);
+
+    p.freq_ghz = p.impl.group.eff_freq_ghz;
+    p.runtime_ms = p.cycles.total() / p.freq_ghz * 1e-6;
+    // Cluster power = 4 groups (the paper implements the group level).
+    p.power_mw = 4.0 * p.impl.group.total_power_mw;
+    p.energy_mj = p.power_mw * p.runtime_ms * 1e-6;
+    p.performance = 1.0 / p.runtime_ms;
+    p.efficiency = 1.0 / p.energy_mj;
+    p.edp = p.energy_mj * p.runtime_ms;
+    points_.push_back(std::move(p));
+  }
+}
+
+const OperatingPoint& CoExplorer::baseline() const {
+  return at(phys::Flow::k2D, MiB(1));
+}
+
+const OperatingPoint& CoExplorer::at(phys::Flow flow, u64 capacity) const {
+  const auto it = std::find_if(points_.begin(), points_.end(), [&](const auto& p) {
+    return p.impl.config.flow == flow && p.impl.config.spm_capacity == capacity;
+  });
+  MP3D_CHECK(it != points_.end(), "unknown operating point");
+  return *it;
+}
+
+double CoExplorer::performance_gain(const OperatingPoint& p) const {
+  return p.performance / baseline().performance - 1.0;
+}
+
+double CoExplorer::efficiency_gain(const OperatingPoint& p) const {
+  return p.efficiency / baseline().efficiency - 1.0;
+}
+
+double CoExplorer::edp_variation(const OperatingPoint& p) const {
+  return p.edp / baseline().edp - 1.0;
+}
+
+double CoExplorer::gain_3d_over_2d_perf(u64 capacity) const {
+  return at(phys::Flow::k3D, capacity).performance /
+             at(phys::Flow::k2D, capacity).performance -
+         1.0;
+}
+
+double CoExplorer::gain_3d_over_2d_eff(u64 capacity) const {
+  return at(phys::Flow::k3D, capacity).efficiency /
+             at(phys::Flow::k2D, capacity).efficiency -
+         1.0;
+}
+
+double CoExplorer::var_3d_over_2d_edp(u64 capacity) const {
+  return at(phys::Flow::k3D, capacity).edp / at(phys::Flow::k2D, capacity).edp - 1.0;
+}
+
+}  // namespace mp3d::core

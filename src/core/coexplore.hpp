@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: Apache-2.0
+// The paper's headline contribution as an API: architecture x technology
+// co-exploration. Combines the physical implementations (Tables I/II) with
+// the calibrated matmul cycle model (Figure 6) into performance, energy
+// efficiency and EDP across the eight configurations (Figures 7/8/9).
+#pragma once
+
+#include <vector>
+
+#include "model/matmul_model.hpp"
+#include "phys/flow.hpp"
+
+namespace mp3d::core {
+
+struct OperatingPoint {
+  phys::ImplResult impl;
+  model::MatmulCalibration calibration;
+  model::CycleBreakdown cycles;   ///< full paper workload (M = 326400)
+
+  double freq_ghz = 0.0;
+  double runtime_ms = 0.0;        ///< cycles / frequency
+  double power_mw = 0.0;
+  double energy_mj = 0.0;         ///< power * runtime
+  double performance = 0.0;       ///< 1 / runtime (a.u.)
+  double efficiency = 0.0;        ///< 1 / energy (a.u.)
+  double edp = 0.0;               ///< energy * runtime
+};
+
+struct CoExploreOptions {
+  u64 m = 326400;                 ///< paper workload
+  double bw_bytes_per_cycle = 16; ///< paper's representative DDR channel
+  /// Run live simulator calibrations (seconds of wall time per capacity)
+  /// instead of the pre-measured defaults.
+  bool measure_calibrations = false;
+};
+
+class CoExplorer {
+ public:
+  explicit CoExplorer(const CoExploreOptions& options = {});
+
+  /// The eight operating points, 2D {1,2,4,8} MiB then 3D {1,2,4,8} MiB.
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+  const OperatingPoint& baseline() const;  ///< 2D 1 MiB
+  const OperatingPoint& at(phys::Flow flow, u64 capacity) const;
+
+  // ---- Figure 7/8/9 values -------------------------------------------------
+  double performance_gain(const OperatingPoint& p) const;   ///< vs baseline
+  double efficiency_gain(const OperatingPoint& p) const;
+  double edp_variation(const OperatingPoint& p) const;
+  /// 3D over 2D at the same capacity.
+  double gain_3d_over_2d_perf(u64 capacity) const;
+  double gain_3d_over_2d_eff(u64 capacity) const;
+  double var_3d_over_2d_edp(u64 capacity) const;
+
+  const CoExploreOptions& options() const { return options_; }
+  const std::vector<std::pair<u64, model::MatmulCalibration>>& calibrations() const {
+    return calibrations_;
+  }
+
+ private:
+  CoExploreOptions options_;
+  std::vector<std::pair<u64, model::MatmulCalibration>> calibrations_;
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace mp3d::core

@@ -1,0 +1,12 @@
+// SPDX-License-Identifier: Apache-2.0
+// Umbrella header: the full MemPool-3D public API.
+#pragma once
+
+#include "arch/cluster.hpp"         // cycle-accurate MemPool cluster simulator
+#include "arch/params.hpp"          // cluster configuration
+#include "core/coexplore.hpp"       // architecture x technology co-exploration
+#include "isa/assembler.hpp"        // RV32IMA+Xpulpimg assembler
+#include "kernels/matmul.hpp"       // the paper's tiled matmul kernel
+#include "kernels/simple_kernels.hpp"
+#include "model/matmul_model.hpp"   // phase-based cycle model (Figure 6)
+#include "phys/flow.hpp"            // 2D / Macro-3D implementation flows

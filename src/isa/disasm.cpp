@@ -1,0 +1,110 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "isa/disasm.hpp"
+
+#include "common/strings.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace mp3d::isa {
+namespace {
+
+std::string reg(u8 r) { return register_abi_name(r); }
+
+}  // namespace
+
+std::string disassemble(const Instr& in, u32 pc) {
+  const char* name = op_name(in.op);
+  switch (in.op) {
+    case Op::kInvalid:
+      return "<invalid>";
+    case Op::kLui:
+    case Op::kAuipc:
+      return strfmt("%s %s, 0x%x", name, reg(in.rd).c_str(),
+                    static_cast<u32>(in.imm) >> 12);
+    case Op::kJal:
+      return strfmt("%s %s, 0x%x", name, reg(in.rd).c_str(),
+                    pc + static_cast<u32>(in.imm));
+    case Op::kJalr:
+      return strfmt("%s %s, %d(%s)", name, reg(in.rd).c_str(), in.imm,
+                    reg(in.rs1).c_str());
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return strfmt("%s %s, %s, 0x%x", name, reg(in.rs1).c_str(), reg(in.rs2).c_str(),
+                    pc + static_cast<u32>(in.imm));
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+      return strfmt("%s %s, %d(%s)", name, reg(in.rd).c_str(), in.imm,
+                    reg(in.rs1).c_str());
+    case Op::kPLwPost:
+      return strfmt("%s %s, %d(%s!)", name, reg(in.rd).c_str(), in.imm,
+                    reg(in.rs1).c_str());
+    case Op::kPLwRPost:
+      return strfmt("%s %s, %s(%s!)", name, reg(in.rd).c_str(), reg(in.rs2).c_str(),
+                    reg(in.rs1).c_str());
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+      return strfmt("%s %s, %d(%s)", name, reg(in.rs2).c_str(), in.imm,
+                    reg(in.rs1).c_str());
+    case Op::kPSwPost:
+      return strfmt("%s %s, %d(%s!)", name, reg(in.rs2).c_str(), in.imm,
+                    reg(in.rs1).c_str());
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+      return strfmt("%s %s, %s, %d", name, reg(in.rd).c_str(), reg(in.rs1).c_str(),
+                    in.imm);
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kWfi:
+      return name;
+    case Op::kLrW:
+      return strfmt("%s %s, (%s)", name, reg(in.rd).c_str(), reg(in.rs1).c_str());
+    case Op::kScW:
+      return strfmt("%s %s, %s, (%s)", name, reg(in.rd).c_str(), reg(in.rs2).c_str(),
+                    reg(in.rs1).c_str());
+    case Op::kAmoSwapW:
+    case Op::kAmoAddW:
+    case Op::kAmoXorW:
+    case Op::kAmoAndW:
+    case Op::kAmoOrW:
+    case Op::kAmoMinW:
+    case Op::kAmoMaxW:
+    case Op::kAmoMinuW:
+    case Op::kAmoMaxuW:
+      return strfmt("%s %s, %s, (%s)", name, reg(in.rd).c_str(), reg(in.rs2).c_str(),
+                    reg(in.rs1).c_str());
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+      return strfmt("%s %s, 0x%x, %s", name, reg(in.rd).c_str(), in.csr,
+                    reg(in.rs1).c_str());
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      return strfmt("%s %s, 0x%x, %d", name, reg(in.rd).c_str(), in.csr, in.imm);
+    case Op::kPAbs:
+      return strfmt("%s %s, %s", name, reg(in.rd).c_str(), reg(in.rs1).c_str());
+    default:
+      return strfmt("%s %s, %s, %s", name, reg(in.rd).c_str(), reg(in.rs1).c_str(),
+                    reg(in.rs2).c_str());
+  }
+}
+
+std::string disassemble_word(u32 word, u32 pc) { return disassemble(decode(word), pc); }
+
+}  // namespace mp3d::isa

@@ -1,0 +1,18 @@
+// SPDX-License-Identifier: Apache-2.0
+// Instruction-to-text rendering, mainly for tracing and assembler
+// round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace mp3d::isa {
+
+/// Render an instruction. `pc` lets branch/jump targets print absolutely.
+std::string disassemble(const Instr& instr, u32 pc = 0);
+
+/// Decode and render a raw word.
+std::string disassemble_word(u32 word, u32 pc = 0);
+
+}  // namespace mp3d::isa

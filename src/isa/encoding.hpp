@@ -1,0 +1,28 @@
+// SPDX-License-Identifier: Apache-2.0
+// Binary encode/decode between 32-bit instruction words and `Instr`.
+// Standard RV32IMA/Zicsr encodings follow the RISC-V unprivileged spec.
+// Xpulpimg subset encoding (library-defined, see instr.hpp):
+//   p.lw  rd, imm(rs1!)  : custom-0 (0001011), I-type, funct3=010
+//   p.lw  rd, rs2(rs1!)  : custom-0 (0001011), R-type, funct3=110, funct7=0
+//   p.sw  rs2, imm(rs1!) : custom-1 (0101011), S-type, funct3=010
+//   p.mac rd, rs1, rs2   : OP (0110011), funct3=000, funct7=0100001
+//   p.msu rd, rs1, rs2   : OP (0110011), funct3=001, funct7=0100001
+//   p.max rd, rs1, rs2   : OP (0110011), funct3=000, funct7=0100010
+//   p.min rd, rs1, rs2   : OP (0110011), funct3=001, funct7=0100010
+//   p.abs rd, rs1        : OP (0110011), funct3=010, funct7=0100010 (rs2=0)
+#pragma once
+
+#include "common/units.hpp"
+#include "isa/instr.hpp"
+
+namespace mp3d::isa {
+
+/// Decode one instruction word. Returns Instr with op == kInvalid on
+/// unsupported/illegal encodings (the core raises an error on execution).
+Instr decode(u32 word);
+
+/// Encode an Instr back to a word. Asserts on immediates that do not fit
+/// the encoding (the assembler range-checks first and reports errors).
+u32 encode(const Instr& instr);
+
+}  // namespace mp3d::isa

@@ -1,0 +1,79 @@
+// SPDX-License-Identifier: Apache-2.0
+// Semantic instruction representation for the RV32IMA + Zicsr + Xpulpimg
+// subset implemented by the MemPool cores (Snitch RV32IMAXpulpimg).
+//
+// Standard instructions use standard RISC-V encodings (see encoding.cpp).
+// The Xpulpimg subset (multiply-accumulate, post-incrementing memory
+// accesses, min/max/abs) uses the custom-0/custom-1 opcode spaces with an
+// encoding defined by this library; we do not claim binary compatibility
+// with the PULP toolchain, only semantic equivalence of the operations the
+// paper relies on.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace mp3d::isa {
+
+enum class Op : u8 {
+  kInvalid = 0,
+  // RV32I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // RV32M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // RV32A (word)
+  kLrW, kScW, kAmoSwapW, kAmoAddW, kAmoXorW, kAmoAndW, kAmoOrW,
+  kAmoMinW, kAmoMaxW, kAmoMinuW, kAmoMaxuW,
+  // Zicsr + wfi
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci, kWfi,
+  // Xpulpimg subset
+  kPMac,     ///< rd += rs1 * rs2
+  kPMsu,     ///< rd -= rs1 * rs2
+  kPMax, kPMin, kPAbs,
+  kPLwPost,  ///< rd = mem32[rs1]; rs1 += imm
+  kPLwRPost, ///< rd = mem32[rs1]; rs1 += rs2
+  kPSwPost,  ///< mem32[rs1] = rs2; rs1 += imm
+  kCount,
+};
+
+const char* op_name(Op op);
+
+struct Instr {
+  Op op = Op::kInvalid;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;   ///< sign-extended immediate (branch/jump: byte offset)
+  u16 csr = 0;   ///< CSR address for Zicsr ops
+
+  bool valid() const { return op != Op::kInvalid; }
+};
+
+// Classification helpers used by the core's issue logic.
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_amo(Op op);        ///< includes lr/sc
+bool is_mem(Op op);        ///< any memory access
+bool is_branch(Op op);     ///< conditional branches
+bool is_jump(Op op);       ///< jal/jalr
+bool writes_rd(const Instr& instr);
+bool reads_rs1(const Instr& instr);
+bool reads_rs2(const Instr& instr);
+/// Post-incrementing accesses also *write* rs1.
+bool writes_rs1(const Instr& instr);
+/// p.mac/p.msu read rd as a third source (accumulator).
+bool reads_rd(const Instr& instr);
+
+/// Well-known CSR numbers.
+inline constexpr u16 kCsrMHartId = 0xF14;
+inline constexpr u16 kCsrMCycle = 0xB00;
+inline constexpr u16 kCsrMInstret = 0xB02;
+
+}  // namespace mp3d::isa

@@ -1,0 +1,52 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "isa/program.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace mp3d::isa {
+
+void Program::add_segment(Segment segment) {
+  MP3D_CHECK(segment.base % 4 == 0, "segment base must be word aligned");
+  segments_.push_back(std::move(segment));
+}
+
+void Program::define_symbol(const std::string& name, u32 value) {
+  symbols_[name] = value;
+}
+
+std::optional<u32> Program::symbol(const std::string& name) const {
+  const auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+u32 Program::symbol_or_throw(const std::string& name) const {
+  const auto v = symbol(name);
+  if (!v) {
+    throw std::out_of_range("mp3d: undefined program symbol: " + name);
+  }
+  return *v;
+}
+
+std::optional<u32> Program::read_word(u32 addr) const {
+  for (const Segment& seg : segments_) {
+    if (addr >= seg.base && addr + 4 <= seg.end()) {
+      return seg.words[(addr - seg.base) / 4];
+    }
+  }
+  return std::nullopt;
+}
+
+u64 Program::total_bytes() const {
+  u64 total = 0;
+  for (const Segment& seg : segments_) {
+    total += seg.words.size() * 4;
+  }
+  return total;
+}
+
+}  // namespace mp3d::isa

@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: Apache-2.0
+// Program image produced by the assembler and consumed by the cluster
+// loader: a set of word-aligned segments plus a symbol table.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mp3d::isa {
+
+struct Segment {
+  u32 base = 0;               ///< byte address, word aligned
+  std::vector<u32> words;
+
+  u32 end() const { return base + static_cast<u32>(words.size()) * 4; }
+};
+
+class Program {
+ public:
+  void add_segment(Segment segment);
+  void define_symbol(const std::string& name, u32 value);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::map<std::string, u32>& symbols() const { return symbols_; }
+
+  std::optional<u32> symbol(const std::string& name) const;
+  /// Throws std::out_of_range with a helpful message when missing.
+  u32 symbol_or_throw(const std::string& name) const;
+
+  u32 entry() const { return entry_; }
+  void set_entry(u32 entry) { entry_ = entry; }
+
+  /// Read one word; returns nullopt when the address is not covered.
+  std::optional<u32> read_word(u32 addr) const;
+  /// Total size of all segments in bytes.
+  u64 total_bytes() const;
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<Segment> segments_;
+  std::map<std::string, u32> symbols_;
+  u32 entry_ = 0;
+};
+
+}  // namespace mp3d::isa

@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: Apache-2.0
+// A kernel bundles the assembled program with host-side hooks: data
+// initialization before the run and verification afterwards.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "arch/cluster.hpp"
+#include "isa/program.hpp"
+
+namespace mp3d::kernels {
+
+/// Marker ids used by the kernels to delimit phases (written by core 0).
+namespace marker {
+inline constexpr u32 kMemPhaseStart = 10;
+inline constexpr u32 kMemPhaseEnd = 11;
+inline constexpr u32 kComputePhaseStart = 20;
+inline constexpr u32 kComputePhaseEnd = 21;
+inline constexpr u32 kStorePhaseStart = 30;
+inline constexpr u32 kStorePhaseEnd = 31;
+inline constexpr u32 kKernelStart = 1;
+inline constexpr u32 kKernelEnd = 2;
+}  // namespace marker
+
+struct Kernel {
+  std::string name;
+  isa::Program program;
+  /// Write input data (and zero runtime state). Called after load_program.
+  std::function<void(arch::Cluster&)> init;
+  /// Check outputs; returns a human-readable error or "" on success.
+  std::function<std::string(arch::Cluster&, const arch::RunResult&)> verify;
+};
+
+/// Convenience: load, init, run, verify. Throws std::runtime_error when the
+/// run fails or verification rejects the output.
+arch::RunResult run_kernel(arch::Cluster& cluster, const Kernel& kernel,
+                           u64 max_cycles, bool warm_icache = false);
+
+}  // namespace mp3d::kernels

@@ -1,0 +1,469 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "kernels/matmul.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+#include "common/strings.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mp3d::kernels {
+namespace {
+
+// Emits the unrolled copy loop shared by the A/B load, C store and C zero
+// phases. Expects at entry:
+//   t0 = gmem pointer (src for loads, dst for stores), already positioned
+//   t1 = spm pointer (linear)
+//   t2 = starting column within the tile row
+//   t3 = words to move (multiple of 4)
+//   t6 = tile row length T
+//   a6 = gmem row skip ((M - T) * 4)
+// Clobbers a1-a4.
+std::string copy_loop(const std::string& tag, bool to_spm, bool zero) {
+  std::string s;
+  const std::string loop = tag + "_loop";
+  const std::string nocross = tag + "_nocross";
+  const std::string done = tag + "_done";
+  s += "    beqz t3, " + done + "\n";
+  s += loop + ":\n";
+  if (zero) {
+    s += R"(    sw zero, 0(t1)
+    sw zero, 4(t1)
+    sw zero, 8(t1)
+    sw zero, 12(t1)
+)";
+  } else if (to_spm) {
+    s += R"(    lw a1, 0(t0)
+    lw a2, 4(t0)
+    lw a3, 8(t0)
+    lw a4, 12(t0)
+    sw a1, 0(t1)
+    sw a2, 4(t1)
+    sw a3, 8(t1)
+    sw a4, 12(t1)
+)";
+  } else {
+    s += R"(    lw a1, 0(t1)
+    lw a2, 4(t1)
+    lw a3, 8(t1)
+    lw a4, 12(t1)
+    sw a1, 0(t0)
+    sw a2, 4(t0)
+    sw a3, 8(t0)
+    sw a4, 12(t0)
+)";
+  }
+  s += "    addi t1, t1, 16\n";
+  if (!zero) {
+    s += "    addi t0, t0, 16\n";
+    s += "    addi t2, t2, 4\n";
+    s += "    bne t2, t6, " + nocross + "\n";
+    s += "    li t2, 0\n";
+    s += "    add t0, t0, a6\n";
+    s += nocross + ":\n";
+  }
+  s += "    addi t3, t3, -4\n";
+  s += "    bnez t3, " + loop + "\n";
+  s += done + ":\n";
+  return s;
+}
+
+// Set up t0..t3/t6/a6 for a tile copy. `gmem_base_expr` computes the
+// gmem byte address of the tile's (0,0) element into a7. The per-core
+// linear word range is [s0*W, (s0+1)*W).
+std::string copy_setup(const std::string& gmem_base_expr, const std::string& spm_base_sym) {
+  std::string s;
+  s += gmem_base_expr;  // a7 = gmem tile base
+  s += R"(    li t4, WORDS_PER_CORE
+    mul t5, s0, t4          # linear start index
+    li t6, T
+    divu a1, t5, t6         # start row
+    remu t2, t5, t6         # start col
+    li a2, M4
+    mul a3, a1, a2          # row * M * 4
+    slli a4, t2, 2
+    add a7, a7, a3
+    add a7, a7, a4          # + col*4
+    mv t0, a7
+    li t1, )" + spm_base_sym + R"(
+    slli a5, t5, 2
+    add t1, t1, a5          # spm dst = base + idx*4
+    mv t3, t4               # words to move
+    li a6, ROWSKIP
+)";
+  return s;
+}
+
+std::string emit_marker(const std::string& id_sym, bool enabled) {
+  if (!enabled) {
+    return "";
+  }
+  static int unique = 0;  // label disambiguator across expansions
+  const std::string skip = "mm_mrk_" + std::to_string(unique++);
+  return "    bnez s0, " + skip + "\n    li t0, MARKER\n    li t1, " + id_sym +
+         "\n    sw t1, 0(t0)\n" + skip + ":\n";
+}
+
+}  // namespace
+
+u32 MatmulParams::paper_tile_dim(u64 spm_capacity_bytes) {
+  switch (spm_capacity_bytes) {
+    case MiB(1): return 256;
+    case MiB(2): return 384;
+    case MiB(4): return 544;
+    case MiB(8): return 800;
+    default: {
+      // Generic fallback: largest multiple of 32 with 3*t^2*4 <= capacity.
+      u32 t = 32;
+      while (3ULL * (t + 32) * (t + 32) * 4 <= spm_capacity_bytes) {
+        t += 32;
+      }
+      return t;
+    }
+  }
+}
+
+void MatmulParams::validate(const arch::ClusterConfig& cfg) const {
+  MP3D_CHECK(t % 4 == 0 && t >= 8, "tile dim must be a multiple of 4, >= 8");
+  MP3D_CHECK(m % t == 0, "matrix dim must be a multiple of the tile dim");
+  const u64 tile_bytes = 3ULL * t * t * 4;
+  SpmAllocator probe(cfg);
+  MP3D_CHECK(tile_bytes <= probe.remaining(),
+             "three " << t << "x" << t << " tiles (" << tile_bytes
+                      << " B) do not fit the SPM");
+  const u64 w = static_cast<u64>(t) * t / cfg.num_cores();
+  MP3D_CHECK(static_cast<u64>(t) * t % cfg.num_cores() == 0,
+             "t^2 must be divisible by the core count");
+  MP3D_CHECK(w % 4 == 0, "per-core copy share must be a multiple of 4 words");
+  MP3D_CHECK(inner_k == 0 || inner_k <= t, "inner_k cannot exceed t");
+  MP3D_CHECK(3ULL * m * m * 4 + MiB(1) <= cfg.gmem_size,
+             "A, B, C (" << 3ULL * m * m * 4 << " B) exceed the global memory window");
+}
+
+Kernel build_matmul(const arch::ClusterConfig& cfg, const MatmulParams& p, u64 seed) {
+  p.validate(cfg);
+  const u32 nt = p.m / p.t;                       // k-chunks per output tile
+  const u32 nt_run = p.k_chunks == 0 ? nt : std::min(nt, p.k_chunks);
+  const u32 tiles_per_axis = p.outer_tiles == 0 ? nt : std::min(nt, p.outer_tiles);
+  const u32 inner_k = p.inner_k == 0 ? p.t : p.inner_k;
+  const u32 tdiv4 = p.t / 4;
+  const u32 nblk_total = tdiv4 * tdiv4;
+  u32 nblk_eff = nblk_total;
+  if (p.blocks_per_core != 0) {
+    nblk_eff = std::min(nblk_total, p.blocks_per_core * cfg.num_cores());
+  }
+
+  SpmAllocator spm(cfg);
+  const u32 at = spm.alloc(static_cast<u64>(p.t) * p.t * 4);
+  const u32 bt = spm.alloc(static_cast<u64>(p.t) * p.t * 4);
+  const u32 ct = spm.alloc(static_cast<u64>(p.t) * p.t * 4);
+  GmemAllocator gmem(cfg);
+  const u64 mat_bytes = static_cast<u64>(p.m) * p.m * 4;
+  const u32 a_base = gmem.alloc(mat_bytes);
+  const u32 b_base = gmem.alloc(mat_bytes);
+  const u32 c_base = gmem.alloc(mat_bytes);
+
+  std::string s = runtime_prelude(cfg);
+  s += "# ---- matmul constants ----\n";
+  s += strfmt(".equ M, %u\n.equ T, %u\n.equ NT_RUN, %u\n.equ TILES_RUN, %u\n", p.m, p.t,
+              nt_run, tiles_per_axis);
+  s += strfmt(".equ M4, %u\n.equ T4, %u\n.equ T16, %u\n", p.m * 4, p.t * 4, p.t * 16);
+  s += strfmt(".equ TM4, %u\n", p.t * p.m * 4);  // one tile-row step in gmem
+  s += strfmt(".equ ROWSKIP, %u\n", (p.m - p.t) * 4);
+  s += strfmt(".equ WORDS_PER_CORE, %u\n", p.t * p.t / cfg.num_cores());
+  s += strfmt(".equ A_BASE, 0x%x\n.equ B_BASE, 0x%x\n.equ C_BASE, 0x%x\n", a_base,
+              b_base, c_base);
+  s += strfmt(".equ AT, 0x%x\n.equ BT, 0x%x\n.equ CT, 0x%x\n", at, bt, ct);
+  s += strfmt(".equ TDIV4, %u\n.equ NBLK_EFF, %u\n", tdiv4, nblk_eff);
+  s += strfmt(".equ KT4, %u\n", inner_k * p.t * 4);  // inner loop end offset
+  s += strfmt(".equ BSTRIDE, %u\n", p.t * 4 - 12);
+  s += strfmt(".equ BACKSTRIDE, %d\n", -3 * static_cast<i32>(p.t) * 4 + 4);
+
+  s += ".text " + strfmt("0x%x", cfg.gmem_base) + "\n";
+  s += runtime_crt0(cfg);
+
+  // ------------------------------------------------------------------ main
+  s += R"(
+main:
+    addi sp, sp, -64
+    sw ra, 60(sp)
+    csrr s0, mhartid
+)";
+  s += emit_marker("1", p.markers);  // kernel start
+  s += R"(    li s1, 0                 # io
+mm_io_loop:
+    li s2, 0                 # jo
+mm_jo_loop:
+    # ======== zero C tile (linear per-core share) ========
+    li t4, WORDS_PER_CORE
+    mul t5, s0, t4
+    li t1, CT
+    slli a5, t5, 2
+    add t1, t1, a5
+    mv t3, t4
+)";
+  s += copy_loop("mm_zero", true, /*zero=*/true);
+  s += R"(    li s3, 0                 # kk
+mm_k_loop:
+    # ======== memory phase: load A(io,kk) and B(kk,jo) ========
+)";
+  s += emit_marker("10", p.markers);
+  // A tile base: A_BASE + io*TM4 + kk*T4.
+  s += R"(    li a7, TM4
+    mul a7, s1, a7
+    li a1, T4
+    mul a1, s3, a1
+    add a7, a7, a1
+    li a1, A_BASE
+    add a7, a7, a1
+)";
+  s += copy_setup("", "AT");
+  s += copy_loop("mm_cpa", true, false);
+  // B tile base: B_BASE + kk*TM4 + jo*T4.
+  s += R"(    li a7, TM4
+    mul a7, s3, a7
+    li a1, T4
+    mul a1, s2, a1
+    add a7, a7, a1
+    li a1, B_BASE
+    add a7, a7, a1
+)";
+  s += copy_setup("", "BT");
+  s += copy_loop("mm_cpb", true, false);
+  s += "    call _barrier\n";
+  s += emit_marker("20", p.markers);
+
+  // ======== compute phase ========
+  s += R"(    # spill SPMD state; the inner loop uses every register
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    mv a0, s0                # blk = hartid
+mm_blk_loop:
+    li a1, NBLK_EFF
+    bge a0, a1, mm_blk_done
+    sw a0, 16(sp)
+    # block coordinates and pointers
+    li a2, TDIV4
+    divu a3, a0, a2          # bi
+    remu a4, a0, a2          # bj
+    li t0, T16
+    mul t1, a3, t0           # bi*4 rows -> byte offset bi*16*T
+    slli t2, a4, 4           # bj*16
+    li t3, CT
+    add t4, t3, t1
+    add t4, t4, t2           # tc
+    sw t4, 20(sp)
+    li t3, AT
+    add t5, t3, t1           # ta = AT + bi*16T
+    sw t5, 24(sp)
+    li t3, BT
+    add t5, t3, t2           # tb = BT + bj*16
+    sw t5, 28(sp)
+    # load the 16 C accumulators (4 rows of 4)
+    li t5, T4
+    lw s0, 0(t4)
+    lw s1, 4(t4)
+    lw s2, 8(t4)
+    lw s3, 12(t4)
+    add t4, t4, t5
+    lw s4, 0(t4)
+    lw s5, 4(t4)
+    lw s6, 8(t4)
+    lw s7, 12(t4)
+    add t4, t4, t5
+    lw s8, 0(t4)
+    lw s9, 4(t4)
+    lw s10, 8(t4)
+    lw s11, 12(t4)
+    add t4, t4, t5
+    lw a4, 0(t4)
+    lw a5, 4(t4)
+    lw a6, 8(t4)
+    lw a7, 12(t4)
+    # inner-loop pointers and strides
+    lw t4, 24(sp)            # ta
+    lw t5, 28(sp)            # tb
+    li t6, T4                # A row stride
+    li gp, BACKSTRIDE
+    li tp, BSTRIDE
+    li ra, KT4
+    add ra, ra, t5           # end = tb + K*T*4
+mm_inner:
+    p.lw a0, 4(t5!)          # b[k][c0..c3]
+    p.lw a1, 4(t5!)
+    p.lw a2, 4(t5!)
+    p.lw a3, tp(t5!)
+    p.lw t0, t6(t4!)         # a[r0..r3][k]
+    p.lw t1, t6(t4!)
+    p.lw t2, t6(t4!)
+    p.lw t3, gp(t4!)
+    p.mac s0, t0, a0
+    p.mac s1, t0, a1
+    p.mac s2, t0, a2
+    p.mac s3, t0, a3
+    p.mac s4, t1, a0
+    p.mac s5, t1, a1
+    p.mac s6, t1, a2
+    p.mac s7, t1, a3
+    p.mac s8, t2, a0
+    p.mac s9, t2, a1
+    p.mac s10, t2, a2
+    p.mac s11, t2, a3
+    p.mac a4, t3, a0
+    p.mac a5, t3, a1
+    p.mac a6, t3, a2
+    p.mac a7, t3, a3
+    bne t5, ra, mm_inner
+    # write the 16 accumulators back
+    lw t4, 20(sp)            # tc
+    li t5, T4
+    sw s0, 0(t4)
+    sw s1, 4(t4)
+    sw s2, 8(t4)
+    sw s3, 12(t4)
+    add t4, t4, t5
+    sw s4, 0(t4)
+    sw s5, 4(t4)
+    sw s6, 8(t4)
+    sw s7, 12(t4)
+    add t4, t4, t5
+    sw s8, 0(t4)
+    sw s9, 4(t4)
+    sw s10, 8(t4)
+    sw s11, 12(t4)
+    add t4, t4, t5
+    sw a4, 0(t4)
+    sw a5, 4(t4)
+    sw a6, 8(t4)
+    sw a7, 12(t4)
+    lw a0, 16(sp)            # blk
+    li a1, NUM_CORES
+    add a0, a0, a1
+    j mm_blk_loop
+mm_blk_done:
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    call _barrier
+)";
+  s += emit_marker("21", p.markers);
+  s += R"(    addi s3, s3, 1
+    li t0, NT_RUN
+    blt s3, t0, mm_k_loop
+    # ======== store phase: C tile -> C(io,jo) ========
+)";
+  s += emit_marker("30", p.markers);
+  s += R"(    li a7, TM4
+    mul a7, s1, a7
+    li a1, T4
+    mul a1, s2, a1
+    add a7, a7, a1
+    li a1, C_BASE
+    add a7, a7, a1
+)";
+  s += copy_setup("", "CT");
+  s += copy_loop("mm_cpc", /*to_spm=*/false, false);
+  s += "    call _barrier\n";
+  s += emit_marker("31", p.markers);
+  s += R"(    addi s2, s2, 1
+    li t0, TILES_RUN
+    blt s2, t0, mm_jo_loop
+    addi s1, s1, 1
+    blt s1, t0, mm_io_loop
+)";
+  s += emit_marker("2", p.markers);  // kernel end
+  s += R"(    li a0, 0
+    lw ra, 60(sp)
+    addi sp, sp, 64
+    ret
+)";
+  s += runtime_barrier(cfg);
+
+  isa::AsmOptions opt;
+  opt.default_base = cfg.gmem_base;
+  Kernel kernel;
+  kernel.name = strfmt("matmul_m%u_t%u%s", p.m, p.t, p.is_sampled() ? "_sampled" : "");
+  kernel.program = isa::assemble(s, opt);
+
+  const u32 m = p.m;
+  kernel.init = [a_base, b_base, m, seed](arch::Cluster& cluster) {
+    reset_runtime_state(cluster);
+    Prng rng(seed);
+    std::vector<u32> words(static_cast<std::size_t>(m) * m);
+    for (u32& w : words) {
+      w = static_cast<u32>(static_cast<i32>(rng.range(-8, 8)));
+    }
+    cluster.write_words(a_base, words);
+    for (u32& w : words) {
+      w = static_cast<u32>(static_cast<i32>(rng.range(-8, 8)));
+    }
+    cluster.write_words(b_base, words);
+  };
+
+  const bool verifiable = !p.is_sampled() || (p.inner_k == 0 && p.k_chunks == 0 &&
+                                              p.blocks_per_core == 0);
+  const u32 tiles_chk = tiles_per_axis;
+  const u32 t_dim = p.t;
+  if (verifiable) {
+    kernel.verify = [a_base, b_base, c_base, m, t_dim, tiles_chk](
+                        arch::Cluster& cluster, const arch::RunResult&) -> std::string {
+      const auto a = cluster.read_words(a_base, static_cast<std::size_t>(m) * m);
+      const auto b = cluster.read_words(b_base, static_cast<std::size_t>(m) * m);
+      const u32 span = tiles_chk * t_dim;  // computed leading sub-square
+      for (u32 r = 0; r < span; ++r) {
+        for (u32 c = 0; c < span; ++c) {
+          u32 acc = 0;
+          for (u32 k = 0; k < m; ++k) {
+            acc += a[static_cast<std::size_t>(r) * m + k] *
+                   b[static_cast<std::size_t>(k) * m + c];
+          }
+          const u32 got =
+              cluster.read_word(c_base + (static_cast<u32>(r) * m + c) * 4);
+          if (got != acc) {
+            return strfmt("C[%u][%u] = 0x%x, expected 0x%x", r, c, got, acc);
+          }
+        }
+      }
+      return "";
+    };
+  }
+  return kernel;
+}
+
+MatmulPhaseTimes extract_phase_times(const arch::RunResult& result) {
+  MatmulPhaseTimes out;
+  const auto mem_start = result.marker_cycles(marker::kMemPhaseStart);
+  const auto compute_start = result.marker_cycles(marker::kComputePhaseStart);
+  const auto compute_end = result.marker_cycles(marker::kComputePhaseEnd);
+  const auto store_start = result.marker_cycles(marker::kStorePhaseStart);
+  const auto store_end = result.marker_cycles(marker::kStorePhaseEnd);
+  const std::size_t chunks = std::min(compute_start.size(), compute_end.size());
+  double mem_sum = 0.0;
+  double compute_sum = 0.0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    mem_sum += static_cast<double>(compute_start[i] - mem_start[i]);
+    compute_sum += static_cast<double>(compute_end[i] - compute_start[i]);
+  }
+  out.chunks_observed = chunks;
+  if (chunks > 0) {
+    out.mem_cycles_per_chunk = mem_sum / static_cast<double>(chunks);
+    out.compute_cycles_per_chunk = compute_sum / static_cast<double>(chunks);
+  }
+  const std::size_t stores = std::min(store_start.size(), store_end.size());
+  double store_sum = 0.0;
+  for (std::size_t i = 0; i < stores; ++i) {
+    store_sum += static_cast<double>(store_end[i] - store_start[i]);
+  }
+  if (stores > 0) {
+    out.store_cycles_per_tile = store_sum / static_cast<double>(stores);
+  }
+  out.total_cycles = result.cycles;
+  return out;
+}
+
+}  // namespace mp3d::kernels

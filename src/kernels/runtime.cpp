@@ -1,0 +1,166 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "kernels/runtime.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "kernels/kernel.hpp"
+
+namespace mp3d::kernels {
+
+u32 barrier_counter0_addr(const arch::ClusterConfig& cfg) {
+  return static_cast<u32>(cfg.spm_base + cfg.seq_region_bytes());
+}
+
+u32 barrier_counter1_addr(const arch::ClusterConfig& cfg) {
+  // One bank row further along the interleave: a different bank, so the
+  // two counters never conflict with each other.
+  return barrier_counter0_addr(cfg) + cfg.banks_per_tile * 4;
+}
+
+std::string runtime_prelude(const arch::ClusterConfig& cfg) {
+  std::string s;
+  s += "# ---- runtime constants (generated) ----\n";
+  s += strfmt(".equ EOC, 0x%x\n", cfg.ctrl_base + arch::ctrl::kEoc);
+  s += strfmt(".equ WAKE_ONE, 0x%x\n", cfg.ctrl_base + arch::ctrl::kWakeOne);
+  s += strfmt(".equ WAKE_ALL, 0x%x\n", cfg.ctrl_base + arch::ctrl::kWakeAll);
+  s += strfmt(".equ PUTCHAR, 0x%x\n", cfg.ctrl_base + arch::ctrl::kPutChar);
+  s += strfmt(".equ CYCLE_REG, 0x%x\n", cfg.ctrl_base + arch::ctrl::kCycle);
+  s += strfmt(".equ MARKER, 0x%x\n", cfg.ctrl_base + arch::ctrl::kMarker);
+  s += strfmt(".equ NUM_CORES, %u\n", cfg.num_cores());
+  s += strfmt(".equ CORES_PER_TILE, %u\n", cfg.cores_per_tile);
+  s += strfmt(".equ LOG2_CPT, %u\n", log2_exact(cfg.cores_per_tile));
+  s += strfmt(".equ SPM_BASE, 0x%x\n", cfg.spm_base);
+  s += strfmt(".equ SEQ_PER_TILE, %u\n", static_cast<u32>(cfg.seq_bytes_per_tile));
+  s += strfmt(".equ LOG2_SEQ_PER_TILE, %u\n", log2_exact(cfg.seq_bytes_per_tile));
+  const u32 stack_bytes = static_cast<u32>(cfg.seq_bytes_per_tile / cfg.cores_per_tile);
+  MP3D_CHECK(is_pow2(stack_bytes), "per-core stack slice must be a power of two");
+  s += strfmt(".equ STACK_BYTES, %u\n", stack_bytes);
+  s += strfmt(".equ LOG2_STACK, %u\n", log2_exact(stack_bytes));
+  s += strfmt(".equ BAR_COUNT0, 0x%x\n", barrier_counter0_addr(cfg));
+  s += strfmt(".equ BAR_COUNT1, 0x%x\n", barrier_counter1_addr(cfg));
+  return s;
+}
+
+std::string runtime_crt0(const arch::ClusterConfig& cfg) {
+  (void)cfg;
+  return R"(# ---- crt0 (generated) ----
+_start:
+    # TLS (barrier sense) = bottom word of this core's stack slice.
+    csrr t0, mhartid
+    srli t1, t0, LOG2_CPT
+    slli t1, t1, LOG2_SEQ_PER_TILE
+    andi t2, t0, CORES_PER_TILE - 1
+    slli t2, t2, LOG2_STACK
+    add t1, t1, t2
+    li t3, SPM_BASE
+    add t1, t1, t3
+    sw zero, 0(t1)
+    call main
+    csrr t0, mhartid
+    bnez t0, _park
+    li t1, EOC
+    sw a0, 0(t1)
+_park:
+    wfi
+    j _park
+)";
+}
+
+std::string runtime_barrier(const arch::ClusterConfig& cfg) {
+  (void)cfg;
+  return R"(# ---- central wake-up barrier (generated); clobbers t0-t6 ----
+_barrier:
+    fence                         # my stores must be visible past the barrier
+    csrr t0, mhartid
+    srli t1, t0, LOG2_CPT
+    slli t1, t1, LOG2_SEQ_PER_TILE
+    andi t2, t0, CORES_PER_TILE - 1
+    slli t2, t2, LOG2_STACK
+    add t1, t1, t2
+    li t3, SPM_BASE
+    add t1, t1, t3                # t1 = TLS
+    lw t4, 0(t1)                  # sense
+    xori t5, t4, 1
+    sw t5, 0(t1)
+    li t2, BAR_COUNT0
+    beqz t4, _bar_cnt_sel
+    li t2, BAR_COUNT1
+_bar_cnt_sel:
+    li t3, 1
+    amoadd.w t5, t3, (t2)
+    addi t5, t5, 1
+    li t6, NUM_CORES
+    bne t5, t6, _bar_sleep
+    sw zero, 0(t2)                # last arrival: reset this sense's counter
+    li t3, WAKE_ALL
+    sw t3, 0(t3)                  # wake everyone else
+    ret
+_bar_sleep:
+    wfi
+    ret
+)";
+}
+
+void reset_runtime_state(arch::Cluster& cluster) {
+  const arch::ClusterConfig& cfg = cluster.config();
+  cluster.write_word(barrier_counter0_addr(cfg), 0);
+  cluster.write_word(barrier_counter1_addr(cfg), 0);
+}
+
+SpmAllocator::SpmAllocator(const arch::ClusterConfig& cfg)
+    : next_(barrier_counter0_addr(cfg) + kRuntimeReservedBytes),
+      end_(static_cast<u32>(cfg.spm_base + cfg.spm_capacity)) {}
+
+u32 SpmAllocator::alloc(u64 bytes) {
+  bytes = round_up(bytes, 4);
+  MP3D_CHECK(next_ + bytes <= end_,
+             "SPM allocator out of space: need " << bytes << " B, have " << remaining());
+  const u32 addr = next_;
+  next_ += static_cast<u32>(bytes);
+  return addr;
+}
+
+GmemAllocator::GmemAllocator(const arch::ClusterConfig& cfg, u64 code_reserve)
+    : next_(cfg.gmem_base + code_reserve), end_(cfg.gmem_base + cfg.gmem_size) {}
+
+u32 GmemAllocator::alloc(u64 bytes) {
+  bytes = round_up(bytes, 4);
+  MP3D_CHECK(next_ + bytes <= end_, "global memory allocator out of space");
+  const u32 addr = static_cast<u32>(next_);
+  next_ += bytes;
+  return addr;
+}
+
+arch::RunResult run_kernel(arch::Cluster& cluster, const Kernel& kernel, u64 max_cycles,
+                           bool warm_icache) {
+  cluster.load_program(kernel.program);
+  if (kernel.init) {
+    kernel.init(cluster);
+  }
+  if (warm_icache) {
+    cluster.warm_icaches();
+  }
+  arch::RunResult result = cluster.run(max_cycles);
+  if (!result.eoc) {
+    std::string why = result.deadlock ? "deadlock" : "cycle limit";
+    for (std::size_t i = 0; i < result.core_errors.size(); ++i) {
+      if (!result.core_errors[i].empty()) {
+        why += "; core " + std::to_string(i) + ": " + result.core_errors[i];
+        break;
+      }
+    }
+    throw std::runtime_error("kernel '" + kernel.name + "' did not complete (" + why +
+                             ") after " + std::to_string(result.cycles) + " cycles");
+  }
+  if (kernel.verify) {
+    const std::string err = kernel.verify(cluster, result);
+    if (!err.empty()) {
+      throw std::runtime_error("kernel '" + kernel.name + "' failed verification: " + err);
+    }
+  }
+  return result;
+}
+
+}  // namespace mp3d::kernels

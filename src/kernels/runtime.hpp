@@ -1,0 +1,72 @@
+// SPDX-License-Identifier: Apache-2.0
+// Parallel runtime for MemPool kernels, generated as assembly fragments:
+//
+//   - `prelude`: .equ constants (control registers, topology, layout);
+//   - `crt0`: entry stub — zero per-core TLS, call main, core 0 reports
+//     main's return value through the EOC register, everyone else parks;
+//   - `barrier`: callable sense-reversing central-counter barrier using
+//     amoadd + wfi/wake-all (MemPool's central barrier scheme). Clobbers
+//     t0–t6 only; safe to call from any core any number of times (SPMD).
+//
+// SPM layout managed by the runtime:
+//   - per-core TLS word at the bottom of each core's stack slice
+//     (sequential region), holding the barrier sense;
+//   - the first `kRuntimeReservedBytes` of the interleaved region hold the
+//     two barrier counters (placed in different banks);
+//   - kernel data is allocated above that via SpmAllocator.
+#pragma once
+
+#include <string>
+
+#include "arch/cluster.hpp"
+#include "arch/params.hpp"
+
+namespace mp3d::kernels {
+
+inline constexpr u32 kRuntimeReservedBytes = 256;
+
+/// .equ block: CTRL registers, topology, runtime addresses.
+std::string runtime_prelude(const arch::ClusterConfig& cfg);
+
+/// Entry stub; must be placed first in .text. Jumps to `main`.
+std::string runtime_crt0(const arch::ClusterConfig& cfg);
+
+/// The callable `_barrier` function.
+std::string runtime_barrier(const arch::ClusterConfig& cfg);
+
+/// Address of the two barrier counters in the interleaved region.
+u32 barrier_counter0_addr(const arch::ClusterConfig& cfg);
+u32 barrier_counter1_addr(const arch::ClusterConfig& cfg);
+
+/// Zero the runtime SPM state (barrier counters). Host-side, part of every
+/// kernel's init hook.
+void reset_runtime_state(arch::Cluster& cluster);
+
+/// Bump allocator for the interleaved SPM region (above the runtime area)
+/// and for global memory. Purely host-side bookkeeping.
+class SpmAllocator {
+ public:
+  explicit SpmAllocator(const arch::ClusterConfig& cfg);
+
+  /// Allocate `bytes` (word aligned), returns byte address.
+  u32 alloc(u64 bytes);
+  u64 remaining() const { return end_ - next_; }
+  u32 next() const { return next_; }
+
+ private:
+  u32 next_;
+  u32 end_;
+};
+
+class GmemAllocator {
+ public:
+  explicit GmemAllocator(const arch::ClusterConfig& cfg, u64 code_reserve = MiB(1));
+  u32 alloc(u64 bytes);
+  u64 remaining() const { return end_ - next_; }
+
+ private:
+  u64 next_;
+  u64 end_;
+};
+
+}  // namespace mp3d::kernels

@@ -1,0 +1,398 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "kernels/simple_kernels.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+#include "common/strings.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mp3d::kernels {
+namespace {
+
+isa::Program assemble_kernel(const arch::ClusterConfig& cfg, const std::string& body) {
+  std::string s = runtime_prelude(cfg);
+  s += ".text " + strfmt("0x%x", cfg.gmem_base) + "\n";
+  s += runtime_crt0(cfg);
+  s += body;
+  s += runtime_barrier(cfg);
+  isa::AsmOptions opt;
+  opt.default_base = cfg.gmem_base;
+  return isa::assemble(s, opt);
+}
+
+std::vector<u32> random_words(Prng& rng, u32 n, i32 lo, i32 hi) {
+  std::vector<u32> words(n);
+  for (u32& w : words) {
+    w = static_cast<u32>(static_cast<i32>(rng.range(lo, hi)));
+  }
+  return words;
+}
+
+}  // namespace
+
+Kernel build_axpy(const arch::ClusterConfig& cfg, u32 n, i32 a, u64 seed) {
+  MP3D_CHECK(n % (4 * cfg.num_cores()) == 0, "axpy n must be a multiple of 4*cores");
+  SpmAllocator spm(cfg);
+  const u32 x_base = spm.alloc(static_cast<u64>(n) * 4);
+  const u32 y_base = spm.alloc(static_cast<u64>(n) * 4);
+  const u32 per_core = n / cfg.num_cores();
+
+  std::string body = strfmt(".equ XB, 0x%x\n.equ YB, 0x%x\n", x_base, y_base);
+  body += strfmt(".equ PER_CORE, %u\n.equ AVAL, %d\n", per_core, a);
+  body += R"(
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    csrr s0, mhartid
+    li t0, PER_CORE
+    mul t1, s0, t0          # element offset
+    slli t1, t1, 2
+    li t2, XB
+    add t2, t2, t1          # x ptr
+    li t3, YB
+    add t3, t3, t1          # y ptr
+    li t4, AVAL
+    li t5, PER_CORE
+ax_loop:
+    p.lw a1, 4(t2!)
+    p.lw a2, 4(t2!)
+    p.lw a3, 4(t2!)
+    p.lw a4, 4(t2!)
+    lw a5, 0(t3)
+    lw a6, 4(t3)
+    lw a7, 8(t3)
+    lw t6, 12(t3)
+    p.mac a5, a1, t4
+    p.mac a6, a2, t4
+    p.mac a7, a3, t4
+    p.mac t6, a4, t4
+    sw a5, 0(t3)
+    sw a6, 4(t3)
+    sw a7, 8(t3)
+    sw t6, 12(t3)
+    addi t3, t3, 16
+    addi t5, t5, -4
+    bnez t5, ax_loop
+    call _barrier
+    li a0, 0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+  Kernel kernel;
+  kernel.name = strfmt("axpy_n%u", n);
+  kernel.program = assemble_kernel(cfg, body);
+  kernel.init = [x_base, y_base, n, seed](arch::Cluster& cluster) {
+    reset_runtime_state(cluster);
+    Prng rng(seed);
+    cluster.write_words(x_base, random_words(rng, n, -100, 100));
+    cluster.write_words(y_base, random_words(rng, n, -100, 100));
+  };
+  kernel.verify = [x_base, y_base, n, a, seed](arch::Cluster& cluster,
+                                               const arch::RunResult&) -> std::string {
+    Prng rng(seed);
+    const auto x = random_words(rng, n, -100, 100);
+    const auto y = random_words(rng, n, -100, 100);
+    for (u32 i = 0; i < n; ++i) {
+      const u32 expect = y[i] + static_cast<u32>(a) * x[i];
+      const u32 got = cluster.read_word(y_base + i * 4);
+      if (got != expect) {
+        return strfmt("y[%u] = 0x%x, expected 0x%x", i, got, expect);
+      }
+      if (cluster.read_word(x_base + i * 4) != x[i]) {
+        return strfmt("x[%u] was clobbered", i);
+      }
+    }
+    return "";
+  };
+  return kernel;
+}
+
+Kernel build_dotp(const arch::ClusterConfig& cfg, u32 n, u64 seed) {
+  MP3D_CHECK(n % cfg.num_cores() == 0, "dotp n must be a multiple of the core count");
+  SpmAllocator spm(cfg);
+  const u32 x_base = spm.alloc(static_cast<u64>(n) * 4);
+  const u32 y_base = spm.alloc(static_cast<u64>(n) * 4);
+  const u32 acc_addr = spm.alloc(4);
+  const u32 per_core = n / cfg.num_cores();
+
+  std::string body = strfmt(".equ XB, 0x%x\n.equ YB, 0x%x\n.equ ACC, 0x%x\n", x_base,
+                            y_base, acc_addr);
+  body += strfmt(".equ PER_CORE, %u\n", per_core);
+  body += R"(
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    csrr s0, mhartid
+    li t0, PER_CORE
+    mul t1, s0, t0
+    slli t1, t1, 2
+    li t2, XB
+    add t2, t2, t1
+    li t3, YB
+    add t3, t3, t1
+    li t5, PER_CORE
+    li a1, 0                # partial sum
+dp_loop:
+    p.lw a2, 4(t2!)
+    p.lw a3, 4(t3!)
+    p.mac a1, a2, a3
+    addi t5, t5, -1
+    bnez t5, dp_loop
+    li t6, ACC
+    amoadd.w zero, a1, (t6)
+    call _barrier           # all partials merged
+    li a0, 0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+  Kernel kernel;
+  kernel.name = strfmt("dotp_n%u", n);
+  kernel.program = assemble_kernel(cfg, body);
+  kernel.init = [x_base, y_base, acc_addr, n, seed](arch::Cluster& cluster) {
+    reset_runtime_state(cluster);
+    Prng rng(seed);
+    cluster.write_words(x_base, random_words(rng, n, -50, 50));
+    cluster.write_words(y_base, random_words(rng, n, -50, 50));
+    cluster.write_word(acc_addr, 0);
+  };
+  kernel.verify = [x_base, y_base, acc_addr, n, seed](
+                      arch::Cluster& cluster, const arch::RunResult&) -> std::string {
+    Prng rng(seed);
+    const auto x = random_words(rng, n, -50, 50);
+    const auto y = random_words(rng, n, -50, 50);
+    u32 expect = 0;
+    for (u32 i = 0; i < n; ++i) {
+      expect += x[i] * y[i];
+    }
+    const u32 got = cluster.read_word(acc_addr);
+    if (got != expect) {
+      return strfmt("dot = 0x%x, expected 0x%x", got, expect);
+    }
+    return "";
+  };
+  return kernel;
+}
+
+Kernel build_conv2d(const arch::ClusterConfig& cfg, u32 h, u32 w,
+                    const std::array<i32, 9>& k, u64 seed) {
+  MP3D_CHECK(w % 4 == 0 && w >= 8, "conv2d width must be a multiple of 4, >= 8");
+  MP3D_CHECK(h >= 3, "conv2d height must be at least 3");
+  SpmAllocator spm(cfg);
+  const u32 img = spm.alloc(static_cast<u64>(h) * w * 4);
+  const u32 out = spm.alloc(static_cast<u64>(h) * w * 4);
+  const u32 kmem = spm.alloc(9 * 4);
+
+  std::string body = strfmt(".equ IMG, 0x%x\n.equ OUT, 0x%x\n.equ KMEM, 0x%x\n", img,
+                            out, kmem);
+  body += strfmt(".equ H, %u\n.equ W, %u\n.equ W4, %u\n", h, w, w * 4);
+  // Row r of the output is computed by core r % num_cores. Interior columns
+  // use the full 3x3 stencil; borders use zero padding (handled by
+  // clamping the taps into accumulating only valid neighbors).
+  body += R"(
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    csrr s0, mhartid
+    # load the 9 kernel taps into s1..s9
+    li t0, KMEM
+    lw s1, 0(t0)
+    lw s2, 4(t0)
+    lw s3, 8(t0)
+    lw s4, 12(t0)
+    lw s5, 16(t0)
+    lw s6, 20(t0)
+    lw s7, 24(t0)
+    lw s8, 28(t0)
+    lw s9, 32(t0)
+    mv s10, s0              # row = hartid
+cv_row_loop:
+    li t0, H
+    bge s10, t0, cv_done
+    # row pointers: t1 = img + (row-1)*W4, t2 = img + row*W4, t3 = +1 row
+    li t4, W4
+    mul t5, s10, t4
+    li t0, IMG
+    add t2, t0, t5
+    sub t1, t2, t4
+    add t3, t2, t4
+    li t6, OUT
+    add t6, t6, t5          # out row ptr
+    li s11, 0               # col
+cv_col_loop:
+    li a0, 0                # accumulator
+    # --- top row (skip if row == 0) ---
+    beqz s10, cv_mid
+    beqz s11, cv_top_c
+    lw a1, -4(t1)
+    p.mac a0, a1, s1
+cv_top_c:
+    lw a1, 0(t1)
+    p.mac a0, a1, s2
+    li a2, W - 1
+    beq s11, a2, cv_mid
+    lw a1, 4(t1)
+    p.mac a0, a1, s3
+cv_mid:
+    # --- middle row ---
+    beqz s11, cv_mid_c
+    lw a1, -4(t2)
+    p.mac a0, a1, s4
+cv_mid_c:
+    lw a1, 0(t2)
+    p.mac a0, a1, s5
+    li a2, W - 1
+    beq s11, a2, cv_bot
+    lw a1, 4(t2)
+    p.mac a0, a1, s6
+cv_bot:
+    # --- bottom row (skip if row == H-1) ---
+    li a2, H - 1
+    beq s10, a2, cv_store
+    beqz s11, cv_bot_c
+    lw a1, -4(t3)
+    p.mac a0, a1, s7
+cv_bot_c:
+    lw a1, 0(t3)
+    p.mac a0, a1, s8
+    li a2, W - 1
+    beq s11, a2, cv_store
+    lw a1, 4(t3)
+    p.mac a0, a1, s9
+cv_store:
+    sw a0, 0(t6)
+    addi t6, t6, 4
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi t3, t3, 4
+    addi s11, s11, 1
+    li a2, W
+    blt s11, a2, cv_col_loop
+    li t0, NUM_CORES
+    add s10, s10, t0
+    j cv_row_loop
+cv_done:
+    call _barrier
+    li a0, 0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+  Kernel kernel;
+  kernel.name = strfmt("conv2d_%ux%u", h, w);
+  kernel.program = assemble_kernel(cfg, body);
+  const std::array<i32, 9> taps = k;
+  kernel.init = [img, kmem, h, w, taps, seed](arch::Cluster& cluster) {
+    reset_runtime_state(cluster);
+    Prng rng(seed);
+    cluster.write_words(img, random_words(rng, h * w, -20, 20));
+    std::vector<u32> kw(9);
+    for (int i = 0; i < 9; ++i) {
+      kw[static_cast<std::size_t>(i)] = static_cast<u32>(taps[static_cast<std::size_t>(i)]);
+    }
+    cluster.write_words(kmem, kw);
+  };
+  kernel.verify = [img, out, h, w, taps, seed](arch::Cluster& cluster,
+                                               const arch::RunResult&) -> std::string {
+    Prng rng(seed);
+    const auto image = random_words(rng, h * w, -20, 20);
+    for (u32 r = 0; r < h; ++r) {
+      for (u32 c = 0; c < w; ++c) {
+        u32 acc = 0;
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            const i64 rr = static_cast<i64>(r) + dr;
+            const i64 cc = static_cast<i64>(c) + dc;
+            if (rr < 0 || rr >= h || cc < 0 || cc >= w) {
+              continue;
+            }
+            const u32 tap =
+                static_cast<u32>(taps[static_cast<std::size_t>((dr + 1) * 3 + dc + 1)]);
+            acc += image[static_cast<std::size_t>(rr) * w + static_cast<std::size_t>(cc)] * tap;
+          }
+        }
+        const u32 got = cluster.read_word(out + (r * w + c) * 4);
+        if (got != acc) {
+          return strfmt("out[%u][%u] = 0x%x, expected 0x%x", r, c, got, acc);
+        }
+      }
+    }
+    return "";
+  };
+  return kernel;
+}
+
+Kernel build_memcpy(const arch::ClusterConfig& cfg, u32 n, u64 seed) {
+  MP3D_CHECK(n % (4 * cfg.num_cores()) == 0, "memcpy n must be a multiple of 4*cores");
+  SpmAllocator spm(cfg);
+  const u32 dst = spm.alloc(static_cast<u64>(n) * 4);
+  GmemAllocator gmem(cfg);
+  const u32 src = gmem.alloc(static_cast<u64>(n) * 4);
+  const u32 per_core = n / cfg.num_cores();
+
+  std::string body = strfmt(".equ SRC, 0x%x\n.equ DST, 0x%x\n.equ PER_CORE, %u\n", src,
+                            dst, per_core);
+  body += R"(
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    csrr s0, mhartid
+    li t0, PER_CORE
+    mul t1, s0, t0
+    slli t1, t1, 2
+    li t2, SRC
+    add t2, t2, t1
+    li t3, DST
+    add t3, t3, t1
+    li t5, PER_CORE
+mc_loop:
+    lw a1, 0(t2)
+    lw a2, 4(t2)
+    lw a3, 8(t2)
+    lw a4, 12(t2)
+    sw a1, 0(t3)
+    sw a2, 4(t3)
+    sw a3, 8(t3)
+    sw a4, 12(t3)
+    addi t2, t2, 16
+    addi t3, t3, 16
+    addi t5, t5, -4
+    bnez t5, mc_loop
+    call _barrier
+    li a0, 0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+  Kernel kernel;
+  kernel.name = strfmt("memcpy_n%u", n);
+  kernel.program = assemble_kernel(cfg, body);
+  kernel.init = [src, n, seed](arch::Cluster& cluster) {
+    reset_runtime_state(cluster);
+    Prng rng(seed);
+    cluster.write_words(src, random_words(rng, n, INT16_MIN, INT16_MAX));
+  };
+  kernel.verify = [src, dst, n](arch::Cluster& cluster,
+                                const arch::RunResult&) -> std::string {
+    for (u32 i = 0; i < n; ++i) {
+      const u32 want = cluster.read_word(src + i * 4);
+      const u32 got = cluster.read_word(dst + i * 4);
+      if (got != want) {
+        return strfmt("dst[%u] = 0x%x, expected 0x%x", i, got, want);
+      }
+    }
+    return "";
+  };
+  return kernel;
+}
+
+}  // namespace mp3d::kernels

@@ -1,0 +1,30 @@
+// SPDX-License-Identifier: Apache-2.0
+// Secondary DSP kernels exercising the public API on the workloads the
+// MemPool papers motivate (linear algebra and filtering): AXPY, dot
+// product, 3x3 convolution, and a bulk gmem->SPM copy. Each kernel is
+// SPMD across all cores and verified against a host reference.
+#pragma once
+
+#include "arch/params.hpp"
+#include "kernels/kernel.hpp"
+
+namespace mp3d::kernels {
+
+/// y[i] += a * x[i] over `n` int32 elements in the interleaved SPM.
+/// `n` must be a multiple of 4 * num_cores.
+Kernel build_axpy(const arch::ClusterConfig& cfg, u32 n, i32 a, u64 seed = 2);
+
+/// result = sum(x[i] * y[i]); per-core partial sums reduced with amoadd.
+/// `n` must be a multiple of num_cores.
+Kernel build_dotp(const arch::ClusterConfig& cfg, u32 n, u64 seed = 3);
+
+/// 3x3 convolution (zero padding) of a `h` x `w` int32 image in SPM; rows
+/// are partitioned across cores. `h` must be >= num_cores visible rows.
+Kernel build_conv2d(const arch::ClusterConfig& cfg, u32 h, u32 w,
+                    const std::array<i32, 9>& kernel3x3, u64 seed = 4);
+
+/// Copy `n` words from global memory into the interleaved SPM.
+/// `n` must be a multiple of 4 * num_cores.
+Kernel build_memcpy(const arch::ClusterConfig& cfg, u32 n, u64 seed = 5);
+
+}  // namespace mp3d::kernels

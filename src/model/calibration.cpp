@@ -1,0 +1,132 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "model/calibration.hpp"
+
+#include "arch/cluster.hpp"
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mp3d::model {
+
+double MatmulCalibration::eta() const {
+  // One block performs 16 MACs per k-iteration, t iterations.
+  return per_block_cycles <= 0.0
+             ? 0.0
+             : 16.0 * static_cast<double>(t) / per_block_cycles;
+}
+
+std::string MatmulCalibration::to_string() const {
+  return strfmt(
+      "t=%u: per_block=%.1f cyc (eta=%.3f MAC/cycle/core), compute_fixed=%.1f, "
+      "mem_overhead=%.1f, store_overhead=%.1f",
+      t, per_block_cycles, eta(), compute_fixed, mem_overhead, store_overhead);
+}
+
+namespace {
+
+struct SampledRun {
+  double mem_chunk;
+  double compute_chunk;
+  double store_tile;
+};
+
+SampledRun run_sample(const arch::ClusterConfig& cfg, u32 t, u32 blocks_per_core,
+                      const CalibrationOptions& options) {
+  arch::ClusterConfig run_cfg = cfg;
+  run_cfg.gmem_bytes_per_cycle = options.bw_bytes_per_cycle;
+  // The paper measures compute phases with a hot instruction cache.
+  arch::Cluster cluster(run_cfg);
+
+  kernels::MatmulParams p;
+  p.m = t;  // a single output tile with one k-chunk
+  p.t = t;
+  p.outer_tiles = 1;
+  p.k_chunks = 1;
+  p.blocks_per_core = blocks_per_core;
+  const kernels::Kernel kernel = kernels::build_matmul(run_cfg, p, options.seed);
+  const arch::RunResult result =
+      kernels::run_kernel(cluster, kernel, options.max_cycles, /*warm_icache=*/true);
+  const kernels::MatmulPhaseTimes times = kernels::extract_phase_times(result);
+  MP3D_CHECK(times.chunks_observed >= 1, "calibration run produced no phase markers");
+  return SampledRun{times.mem_cycles_per_chunk, times.compute_cycles_per_chunk,
+                    times.store_cycles_per_tile};
+}
+
+}  // namespace
+
+MatmulCalibration calibrate_matmul(const arch::ClusterConfig& cfg, u32 t,
+                                   const CalibrationOptions& options) {
+  const u32 cores = cfg.num_cores();
+  const u32 nblk = (t / 4) * (t / 4);
+  MP3D_CHECK(nblk >= cores, "tile too small to give every core a block");
+  const u32 hi = std::min(options.blocks_hi, nblk / cores);
+
+  const SampledRun lo_run = run_sample(cfg, t, 1, options);
+  MatmulCalibration cal;
+  cal.t = t;
+  if (hi > 1) {
+    const SampledRun hi_run = run_sample(cfg, t, hi, options);
+    cal.per_block_cycles =
+        (hi_run.compute_chunk - lo_run.compute_chunk) / static_cast<double>(hi - 1);
+    cal.compute_fixed = lo_run.compute_chunk - cal.per_block_cycles;
+  } else {
+    // Single point: attribute everything above a nominal barrier cost to
+    // the block (small clusters in tests).
+    cal.compute_fixed = 0.0;
+    cal.per_block_cycles = lo_run.compute_chunk;
+  }
+  if (cal.compute_fixed < 0.0) {
+    cal.compute_fixed = 0.0;
+  }
+  const double mem_ideal = 2.0 * t * t * 4.0 / options.bw_bytes_per_cycle;
+  cal.mem_overhead = std::max(0.0, lo_run.mem_chunk - mem_ideal);
+  const double store_ideal = 1.0 * t * t * 4.0 / options.bw_bytes_per_cycle;
+  cal.store_overhead = std::max(0.0, lo_run.store_tile - store_ideal);
+  return cal;
+}
+
+MatmulCalibration default_calibration(u32 t) {
+  // Captured from calibrate_matmul() on the paper-shape cluster (256
+  // cores) in this repository; regenerate with bench/fig6_cycle_speedup.
+  MatmulCalibration cal;
+  cal.t = t;
+  switch (t) {
+    case 256:
+      cal.per_block_cycles = 8950.0;
+      cal.compute_fixed = 900.0;
+      cal.mem_overhead = 120.0;
+      cal.store_overhead = 150.0;
+      break;
+    case 384:
+      cal.per_block_cycles = 13300.0;
+      cal.compute_fixed = 950.0;
+      cal.mem_overhead = 130.0;
+      cal.store_overhead = 160.0;
+      break;
+    case 544:
+      cal.per_block_cycles = 18800.0;
+      cal.compute_fixed = 1000.0;
+      cal.mem_overhead = 140.0;
+      cal.store_overhead = 170.0;
+      break;
+    case 800:
+      cal.per_block_cycles = 27600.0;
+      cal.compute_fixed = 1100.0;
+      cal.mem_overhead = 150.0;
+      cal.store_overhead = 180.0;
+      break;
+    default: {
+      // Zero-load estimate: ~28 issue cycles per 16 MACs plus a conflict
+      // margin consistent with the measured points.
+      cal.per_block_cycles = 35.0 * t;
+      cal.compute_fixed = 900.0;
+      cal.mem_overhead = 120.0;
+      cal.store_overhead = 150.0;
+      break;
+    }
+  }
+  return cal;
+}
+
+}  // namespace mp3d::model

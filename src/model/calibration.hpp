@@ -1,0 +1,47 @@
+// SPDX-License-Identifier: Apache-2.0
+// Calibration of the phase-based matmul cycle model against the
+// cycle-accurate simulator (the paper's §VI methodology: compute phases
+// are measured with a hot instruction cache through cycle-accurate
+// simulation; memory phases follow the bandwidth model).
+//
+// Two sampled simulations per tile size (1 and `k` blocks per core) yield
+// a linear fit: compute_chunk(b) = fixed + b * per_block, where `fixed`
+// captures barrier/SPMD overhead and `per_block` the steady-state cost of
+// one 4x4x(t) register-blocked update including bank conflicts and remote
+// access latency.
+#pragma once
+
+#include "arch/params.hpp"
+
+namespace mp3d::model {
+
+struct MatmulCalibration {
+  u32 t = 0;                        ///< tile dimension calibrated for
+  double per_block_cycles = 0.0;    ///< one 4x4 block, full k-depth t
+  double compute_fixed = 0.0;       ///< per-chunk fixed compute overhead
+  double mem_overhead = 0.0;        ///< per-chunk overhead beyond bytes/bw
+  double store_overhead = 0.0;      ///< per-store-phase overhead
+  double eta() const;               ///< MACs/cycle/core in steady state
+
+  std::string to_string() const;
+};
+
+struct CalibrationOptions {
+  u32 blocks_hi = 3;        ///< second sample point (blocks per core)
+  u32 bw_bytes_per_cycle = 16;
+  u64 max_cycles = 200'000'000;
+  u64 seed = 1;
+};
+
+/// Run the sampled simulations on a cluster of `cfg`'s shape (SPM capacity
+/// must fit three t x t tiles). Throws on simulation failure.
+MatmulCalibration calibrate_matmul(const arch::ClusterConfig& cfg, u32 t,
+                                   const CalibrationOptions& options = {});
+
+/// Pre-measured calibrations for the paper's four configurations
+/// (256 cores, t = 256/384/544/800), captured from the simulator in this
+/// repository. Used by examples to avoid the multi-second calibration
+/// runs; benches re-measure live.
+MatmulCalibration default_calibration(u32 t);
+
+}  // namespace mp3d::model

@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "model/matmul_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp3d::model {
+
+CycleBreakdown matmul_cycles(const MatmulWorkload& w, const MatmulCalibration& cal) {
+  MP3D_CHECK(cal.t == w.t, "calibration tile dim mismatch");
+  MP3D_CHECK(w.m % w.t == 0, "matrix dim must be a multiple of the tile dim");
+  const double nt = static_cast<double>(w.m / w.t);       // k-chunks per tile
+  const double n_out = nt * nt;                           // output tiles
+  const double tile_words = static_cast<double>(w.t) * w.t;
+
+  const double mem_chunk = 2.0 * tile_words * 4.0 / w.bw_bytes_per_cycle +
+                           cal.mem_overhead;
+  const u32 nblk = (w.t / 4) * (w.t / 4);
+  // The slowest core carries ceil(nblk / cores) blocks.
+  const double blocks_pc = std::ceil(static_cast<double>(nblk) / w.cores);
+  const double compute_chunk = cal.compute_fixed + blocks_pc * cal.per_block_cycles;
+  const double store_tile = tile_words * 4.0 / w.bw_bytes_per_cycle +
+                            cal.store_overhead;
+
+  CycleBreakdown out;
+  out.memory = n_out * nt * mem_chunk;
+  out.compute = n_out * nt * compute_chunk;
+  out.store = n_out * store_tile;
+  return out;
+}
+
+std::vector<Fig6Row> figure6_sweep(
+    u64 m, u32 cores,
+    const std::vector<std::pair<u64, MatmulCalibration>>& calibrations,
+    const std::vector<double>& bandwidths) {
+  MP3D_CHECK(!calibrations.empty() && !bandwidths.empty(), "empty sweep inputs");
+  std::vector<Fig6Row> rows;
+
+  // Baseline: smallest capacity at the lowest bandwidth (the paper uses
+  // 1 MiB @ 4 B/cycle).
+  MatmulWorkload base;
+  base.m = m;
+  base.cores = cores;
+  base.t = calibrations.front().second.t;
+  base.bw_bytes_per_cycle = bandwidths.front();
+  const double base_cycles = matmul_cycles(base, calibrations.front().second).total();
+
+  for (const double bw : bandwidths) {
+    double prev_cycles = 0.0;
+    for (std::size_t i = 0; i < calibrations.size(); ++i) {
+      const auto& [capacity, cal] = calibrations[i];
+      MatmulWorkload w;
+      w.m = m;
+      w.cores = cores;
+      w.t = cal.t;
+      w.bw_bytes_per_cycle = bw;
+      const double cycles = matmul_cycles(w, cal).total();
+      Fig6Row row;
+      row.spm_capacity = capacity;
+      row.t = cal.t;
+      row.bw = bw;
+      row.cycles = cycles;
+      row.speedup_vs_baseline = base_cycles / cycles - 1.0;
+      row.speedup_vs_half_capacity = i == 0 ? 0.0 : prev_cycles / cycles - 1.0;
+      prev_cycles = cycles;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace mp3d::model

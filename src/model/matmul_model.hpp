@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: Apache-2.0
+// The paper's phase-based cycle-count model for the tiled matmul (§VI.A):
+//
+//   per output tile (M/t per axis, squared):
+//     M/t k-chunks, each: memory phase (2*t^2*4 B at bw B/cycle, plus the
+//     measured overhead) followed by a compute phase (calibrated);
+//     one store phase (t^2*4 B) per output tile.
+//
+// Each input element is loaded exactly M/t times; larger t means more
+// reuse and fewer, longer phases (less repeated static overhead) — the two
+// effects behind Figure 6.
+#pragma once
+
+#include <vector>
+
+#include "model/calibration.hpp"
+
+namespace mp3d::model {
+
+struct MatmulWorkload {
+  u64 m = 326400;  ///< the paper's matrix dimension (lcm of tile sizes)
+  u32 t = 256;
+  u32 cores = 256;
+  double bw_bytes_per_cycle = 16.0;
+};
+
+struct CycleBreakdown {
+  double memory = 0.0;
+  double compute = 0.0;
+  double store = 0.0;
+  double total() const { return memory + compute + store; }
+};
+
+/// Evaluate the model. `cal.t` must equal `w.t`.
+CycleBreakdown matmul_cycles(const MatmulWorkload& w, const MatmulCalibration& cal);
+
+/// One Figure-6 data point set: total cycle counts for every capacity at
+/// every bandwidth, plus speedups.
+struct Fig6Row {
+  u64 spm_capacity = 0;
+  u32 t = 0;
+  double bw = 0.0;
+  double cycles = 0.0;
+  double speedup_vs_baseline = 0.0;    ///< vs 1 MiB at 4 B/cycle
+  double speedup_vs_half_capacity = 0.0;  ///< vs previous capacity, same bw
+};
+
+/// Build the Figure 6 sweep from per-capacity calibrations. `calibrations`
+/// must be ordered by capacity {1,2,4,8} MiB with matching tile dims.
+std::vector<Fig6Row> figure6_sweep(u64 m, u32 cores,
+                                   const std::vector<std::pair<u64, MatmulCalibration>>&
+                                       calibrations,
+                                   const std::vector<double>& bandwidths);
+
+}  // namespace mp3d::model

@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/cluster_flow.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mp3d::phys {
+
+ClusterImpl implement_cluster(const arch::ClusterConfig& cfg, const Technology& tech,
+                              Flow flow) {
+  MP3D_CHECK(cfg.num_groups == 4, "cluster assembly models the 2x2 group arrangement");
+  ClusterImpl c;
+  c.flow = flow;
+  c.spm_capacity = cfg.spm_capacity;
+  c.group = implement_group(cfg, tech, flow);
+
+  // Inter-group channels carry two point-to-point networks per edge (e.g.
+  // east + northeast on the vertical cut) for every tile of the group, in
+  // both directions — far denser than the intra-group channels, which is
+  // why the 12-layer 3D BEOL pays off even more here (paper §V.A).
+  const BusWidths buses = bus_widths(cfg);
+  const double crossing_wires =
+      2.0 * 2.0 * cfg.tiles_per_group * (buses.req() + buses.resp());
+  const u32 layers = flow == Flow::k3D ? tech.layers_3d : tech.layers_2d;
+  const double tracks_per_mm = 1e3 / tech.track_pitch_um;
+  c.inter_group_channel_mm =
+      crossing_wires / (layers * tracks_per_mm * tech.routing_utilization) +
+      um_to_mm(tech.channel_guard_um);
+
+  c.width_mm = 2.0 * c.group.width_mm + c.inter_group_channel_mm;
+  c.footprint_mm2 = c.width_mm * c.width_mm;
+  c.combined_die_area_mm2 =
+      flow == Flow::k3D ? 2.0 * c.footprint_mm2 : c.footprint_mm2;
+  c.assembly_overhead = c.footprint_mm2 / (4.0 * c.group.footprint_mm2) - 1.0;
+  return c;
+}
+
+}  // namespace mp3d::phys

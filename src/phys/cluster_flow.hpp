@@ -1,0 +1,31 @@
+// SPDX-License-Identifier: Apache-2.0
+// Cluster-level estimate (the paper's §V.A outlook): the full MemPool
+// cluster is four groups in a 2x2 arrangement plus point-to-point links
+// and ~5 kcells of glue. The paper implements only the group level but
+// argues that the 12-layer mirrored BEOL lets the 3D cluster use narrower
+// inter-group channels, "an even more favorable area ratio at the cluster
+// level". This module quantifies that claim with the same channel model.
+#pragma once
+
+#include "phys/group_flow.hpp"
+
+namespace mp3d::phys {
+
+struct ClusterImpl {
+  Flow flow = Flow::k2D;
+  u64 spm_capacity = 0;
+  GroupImpl group;
+
+  double inter_group_channel_mm = 0.0;
+  double footprint_mm2 = 0.0;
+  double width_mm = 0.0;
+  double combined_die_area_mm2 = 0.0;
+  /// Footprint overhead of the cluster over 4x the group footprint.
+  double assembly_overhead = 0.0;
+};
+
+/// Assemble the 2x2-group cluster on top of a group implementation.
+ClusterImpl implement_cluster(const arch::ClusterConfig& cfg, const Technology& tech,
+                              Flow flow);
+
+}  // namespace mp3d::phys

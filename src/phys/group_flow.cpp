@@ -1,0 +1,197 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/group_flow.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace mp3d::phys {
+namespace {
+
+// ---- model coefficients (see DESIGN.md §6; calibrated once against the
+// ---- paper's baseline-normalized Table II) ---------------------------------
+
+// Fixed logic in the register-to-register group path: launch/capture,
+// switch traversal, boundary muxing.
+constexpr double kPathFixedNs = 0.42;
+// Critical path length as a fraction of the group half-perimeter (the
+// diagonal tile-to-tile route through the center switches).
+constexpr double kCritPathLengthFactor = 1.5;
+// 3D tiles block all twelve layers, so group routing detours inside the
+// channels (paper: "the lack of over-the-tile routing incurs extra
+// congestion"). Affects the critical path; the routed-length effect on
+// total wire length is milder (kWireDetour3D).
+constexpr double kDetour3D = 1.15;
+constexpr double kWireDetour3D = 1.05;
+// 2D congestion detour per SPM-capacity doubling (DRV-driven spreading),
+// saturating after two doublings.
+constexpr double kDetour2DPerDoubling = 0.05;
+constexpr double kDetour2DMax = 1.10;
+// Tile boundary (input-to-register) path: control overhead ahead of the
+// SRAM access, plus intra-tile wire.
+constexpr double kSramPathFixedNs = 0.53;
+constexpr double kSramPathTileWireFactor = 0.10;  // ns per mm of tile width
+
+// Through-traffic multiplier on channel wire demand (buses passing a
+// channel on the way to the center switches).
+constexpr double kChannelThroughFactor = 1.25;
+// Average net fanout-driven length factor for the geometric wire length.
+constexpr double kWireLengthFactor = 1.35;
+// One repeater per this much routed wire.
+constexpr double kBufferIntervalMm = 0.085;
+
+// Statistical path population (TNS / failing paths vs the 1 GHz target).
+constexpr double kPathsNearCritical = 4800.0;
+constexpr double kSlackSpreadNs = 0.17;
+
+// Power model shares.
+constexpr double kLogicActivity = 0.10;
+constexpr double kWireActivity = 0.12;
+constexpr double kSramAccessesPerCorePerCycle = 0.36;
+// Folded 3D stack: shorter clock tree and intra-die wiring per die lowers
+// the switched cell capacitance relative to the sprawling 2D floorplan.
+constexpr double kCellCapFactor3D = 0.88;
+
+// F2F: routing vias per mm of group wire rerouted through the memory-die
+// BEOL, plus per-tile architectural pins (from the tile flow).
+constexpr double kF2fViasPerMmWire = 4.75;
+
+double sq(double v) { return v * v; }
+
+}  // namespace
+
+std::string GroupImpl::to_string() const {
+  return strfmt(
+      "%s group (%llu MiB): footprint %.3f mm2, ch %.0f um, WL %.1f m, bufs %.0fk, "
+      "f_eff %.0f MHz, power %.0f mW",
+      flow_name(flow), static_cast<unsigned long long>(spm_capacity / MiB(1)),
+      footprint_mm2, channel_width_mm * 1e3, wire_length_mm / 1e3, num_buffers / 1e3,
+      eff_freq_ghz * 1e3, total_power_mw);
+}
+
+GroupImpl implement_group(const arch::ClusterConfig& cfg, const Technology& tech,
+                          Flow flow) {
+  MP3D_CHECK(cfg.tiles_per_group >= 4, "group model expects at least a 2x2 tile grid");
+  GroupImpl g;
+  g.flow = flow;
+  g.spm_capacity = cfg.spm_capacity;
+  g.tile = implement_tile(cfg, tech, flow);
+
+  const BusWidths buses = bus_widths(cfg);
+  const u32 tiles = cfg.tiles_per_group;
+  const auto grid = static_cast<u32>(std::lround(std::sqrt(static_cast<double>(tiles))));
+  MP3D_CHECK(grid * grid == tiles, "tiles per group must form a square grid");
+
+  // ---- channels -------------------------------------------------------------
+  // Per tile: four networks, each with request+response buses in both
+  // directions crossing into the channels.
+  const double wires_per_tile = 4.0 * 2.0 * (buses.req() + buses.resp());
+  const double demand = kChannelThroughFactor * grid * wires_per_tile;
+  const u32 layers = flow == Flow::k3D ? tech.layers_3d : tech.layers_2d;
+  const double tracks_per_mm = 1e3 / tech.track_pitch_um;
+  const double wire_width_mm = demand / (layers * tracks_per_mm * tech.routing_utilization);
+  g.channel_width_mm = wire_width_mm + um_to_mm(tech.channel_guard_um);
+
+  // ---- footprint --------------------------------------------------------------
+  // grid tiles + (grid-1) inner channels + half-width channels at both edges.
+  g.width_mm = grid * g.tile.width_mm + (grid - 1) * g.channel_width_mm +
+               g.channel_width_mm;  // two half-channels at the periphery
+  g.footprint_mm2 = sq(g.width_mm);
+  g.combined_die_area_mm2 = flow == Flow::k3D ? 2.0 * g.footprint_mm2 : g.footprint_mm2;
+
+  // ---- wire length (group-level nets; tiles are abstracted macros) -----------
+  const double pitch = g.tile.width_mm + g.channel_width_mm;
+  const double doublings =
+      std::max(0.0, std::log2(static_cast<double>(cfg.spm_capacity) / MiB(1)));
+  const double timing_detour =
+      flow == Flow::k3D
+          ? kDetour3D
+          : std::min(kDetour2DMax, 1.0 + kDetour2DPerDoubling * doublings);
+  const double wire_detour = flow == Flow::k3D ? kWireDetour3D : 1.0;
+  double wl = 0.0;
+  // Stage 1: each tile to its quadrant's switch cluster (quad center).
+  for (u32 ty = 0; ty < grid; ++ty) {
+    for (u32 tx = 0; tx < grid; ++tx) {
+      const double cx = (tx < grid / 2 ? grid / 4.0 - 0.5 : 3.0 * grid / 4.0 - 0.5);
+      const double cy = (ty < grid / 2 ? grid / 4.0 - 0.5 : 3.0 * grid / 4.0 - 0.5);
+      const double dist = (std::abs(tx - cx) + std::abs(ty - cy)) * pitch;
+      // Local network req+resp, both directions.
+      wl += dist * 2.0 * (buses.req() + buses.resp());
+      // The three inter-group networks exit through the group edges:
+      // east (horizontal), north (vertical), northeast (corner).
+      const double d_e = (grid - 1.0 - tx) * pitch + 0.5 * pitch;
+      const double d_n = ty * pitch + 0.5 * pitch;
+      const double d_ne = 0.5 * (d_e + d_n) + 0.5 * pitch;
+      wl += (d_e + d_n + d_ne) * (buses.req() + buses.resp());
+    }
+  }
+  // Stage 2: quadrant switches to the group center.
+  wl += 4.0 * (grid / 2.0) * pitch * 2.0 * (buses.req() + buses.resp());
+  g.wire_length_mm = wl * kWireLengthFactor * wire_detour;
+  g.num_buffers = g.wire_length_mm / kBufferIntervalMm;
+
+  // ---- density ----------------------------------------------------------------
+  const GroupNetlist netlist = group_netlist(cfg);
+  const double buffer_area = g.num_buffers * tech.buffer_area_ge *
+                             um2_to_mm2(tech.ge_area_um2);
+  const double group_cell_area = netlist.cell_area_mm2(tech) + buffer_area;
+  const double channel_area =
+      g.footprint_mm2 - tiles * g.tile.footprint_mm2;
+  g.cell_density = group_cell_area / channel_area;
+
+  // ---- F2F bumps ----------------------------------------------------------------
+  if (flow == Flow::k3D) {
+    g.f2f_bumps = static_cast<double>(tiles) * g.tile.f2f_signals +
+                  kF2fViasPerMmWire * g.wire_length_mm;
+  }
+
+  // ---- timing -------------------------------------------------------------------
+  const double wire_path =
+      kPathFixedNs +
+      tech.wire_delay_ns_per_mm * kCritPathLengthFactor * g.width_mm * timing_detour +
+      (flow == Flow::k3D ? 2.0 * tech.f2f_delay_ns : 0.0);
+  const double sram_path = kSramPathFixedNs + g.tile.sram_access_ns +
+                           kSramPathTileWireFactor * g.tile.width_mm;
+  g.crit_path_ns = std::max(wire_path, sram_path);
+  g.eff_freq_ghz = 1.0 / g.crit_path_ns;
+
+  // TNS / failing paths against the 1 GHz (1 ns) signoff target, from an
+  // exponential slack population near the critical path.
+  const double x = g.crit_path_ns - 1.0;
+  if (x > 0.0) {
+    const double u = x / kSlackSpreadNs;
+    g.failing_paths = kPathsNearCritical * (1.0 - std::exp(-u));
+    g.tns_ns = -kPathsNearCritical * kSlackSpreadNs * (u - 1.0 + std::exp(-u));
+  }
+
+  // ---- power (at eff_freq, matmul-class activity) ---------------------------------
+  const TileNetlist tile_nl = tile_netlist(cfg);
+  const double total_ge = tiles * tile_nl.total_ge() + netlist.total_ge() +
+                          g.num_buffers * tech.buffer_area_ge;
+  const double f = g.eff_freq_ghz;  // GHz = 1/ns
+  const double vdd2 = sq(tech.vdd);
+  // fF * V^2 * GHz = uW; divide by 1e3 for mW.
+  const double cell_cap_factor = flow == Flow::k3D ? kCellCapFactor3D : 1.0;
+  const double p_cells = total_ge * tech.cell_cap_ff_per_ge * cell_cap_factor *
+                         kLogicActivity * vdd2 * f * 1e-3;
+  const double p_wire =
+      g.wire_length_mm * tech.wire_cap_ff_per_mm * kWireActivity * vdd2 * f * 1e-3;
+  const double f2f_cap =
+      flow == Flow::k3D ? g.f2f_bumps * tech.f2f_cap_ff * kWireActivity * vdd2 * f * 1e-3
+                        : 0.0;
+  const double accesses = kSramAccessesPerCorePerCycle * tiles * cfg.cores_per_tile;
+  const double p_sram_access =
+      accesses * g.tile.bank_macro.access_energy_pj * f * 1e-3;  // pJ*GHz -> mW
+  const double group_kib =
+      static_cast<double>(cfg.spm_capacity) / 1024.0 / cfg.num_groups;
+  const double p_sram_bg =
+      tech.sram_background_mw_ghz * std::pow(group_kib, tech.sram_background_exp) * f;
+  const double p_leak = tiles * (g.tile.logic_leakage_mw + g.tile.sram_leakage_mw) +
+                        netlist.total_ge() / 1e3 * tech.leak_uw_per_kge / 1e3;
+  g.total_power_mw = p_cells + p_wire + f2f_cap + p_sram_access + p_sram_bg + p_leak;
+  g.pdp = g.total_power_mw / g.eff_freq_ghz * 1e-3;  // mW * ns -> uW*s-ish scale
+  return g;
+}
+
+}  // namespace mp3d::phys

@@ -1,0 +1,52 @@
+// SPDX-License-Identifier: Apache-2.0
+// Group implementation (paper §V): 16 tiles in a 4x4 grid with routing
+// channels, the four butterfly interconnects placed at the center. The
+// group is MemPool's critical hierarchy level: its PPA is wire-dominated,
+// which is what 3D integration attacks.
+//
+// Model chain: tile footprints -> channel widths (wire demand vs BEOL
+// capacity) -> group footprint -> geometric wire length over the butterfly
+// topology -> buffers -> timing (buffered-wire critical path vs the
+// SRAM-bound tile boundary path) -> statistical TNS / failing paths ->
+// power (switched cell/wire/SRAM capacitance + leakage).
+#pragma once
+
+#include <string>
+
+#include "arch/params.hpp"
+#include "phys/netlist.hpp"
+#include "phys/tile_flow.hpp"
+
+namespace mp3d::phys {
+
+struct GroupImpl {
+  Flow flow = Flow::k2D;
+  u64 spm_capacity = 0;
+  TileImpl tile;
+
+  double channel_width_mm = 0.0;
+  double footprint_mm2 = 0.0;
+  double width_mm = 0.0;
+  double combined_die_area_mm2 = 0.0;
+
+  double wire_length_mm = 0.0;   ///< group-level routed wire (tiles abstracted)
+  double num_buffers = 0.0;
+  double cell_density = 0.0;     ///< group-level std cells / channel area
+  double f2f_bumps = 0.0;        ///< 3D only: architectural pins + routing vias
+
+  double crit_path_ns = 0.0;
+  double eff_freq_ghz = 0.0;
+  double tns_ns = 0.0;           ///< negative slack sum vs the 1 GHz target
+  double failing_paths = 0.0;
+
+  double total_power_mw = 0.0;   ///< at eff_freq, running the matmul workload
+  double pdp = 0.0;              ///< power / frequency (normalized units: mW*ns)
+
+  std::string to_string() const;
+};
+
+/// Implement one group of the given configuration.
+GroupImpl implement_group(const arch::ClusterConfig& cfg, const Technology& tech,
+                          Flow flow);
+
+}  // namespace mp3d::phys

@@ -1,0 +1,51 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/netlist.hpp"
+
+#include <cmath>
+
+namespace mp3d::phys {
+
+BusWidths bus_widths(const arch::ClusterConfig& cfg) {
+  BusWidths w;
+  // Physical address width: enough for SPM + control + global windows;
+  // grows with the SPM capacity (the paper notes the extra address bits in
+  // the channel width discussion).
+  w.addr = log2_exact(cfg.spm_capacity) + 2;
+  return w;
+}
+
+TileNetlist tile_netlist(const arch::ClusterConfig& cfg) {
+  const BusWidths w = bus_widths(cfg);
+  TileNetlist n;
+  n.cores_ge = cfg.cores_per_tile * kSnitchCoreGe;
+  // Fully-connected crossbar: masters = cores + remote-in ports, slaves =
+  // banks + remote-out ports; ~1.9 GE per crosspoint-bit covers muxing,
+  // per-port queueing, arbitration and address decoding (the tile
+  // interconnect is a large share of MemPool's tile logic).
+  const double masters = cfg.cores_per_tile + 4.0;
+  const double slaves = cfg.banks_per_tile + 4.0;
+  n.xbar_ge = 1.9 * masters * slaves * (w.req() + w.resp());
+  n.icache_ctrl_ge = 20e3;
+  n.glue_ge = 37e3;
+  return n;
+}
+
+GroupNetlist group_netlist(const arch::ClusterConfig& cfg) {
+  const BusWidths w = bus_widths(cfg);
+  GroupNetlist n;
+  // Four networks (local + north/northeast/east), each a 16x16 radix-4
+  // butterfly: log4(16) = 2 stages of 4 switches; request and response
+  // planes. GE per switch ~ 0.5 GE/crosspoint-bit.
+  const double ports = cfg.tiles_per_group;
+  const double stages = std::ceil(std::log2(ports) / 2.0);
+  const double switches_per_stage = ports / 4.0;
+  const double sw_ge =
+      0.5 * 16.0 * (w.req() + w.resp());  // one 4x4 switch, both planes
+  n.switches_ge = 4.0 * stages * switches_per_stage * sw_ge;
+  // Pipeline registers: each network port carries req+resp registers.
+  n.pipeline_ge = 4.0 * ports * (w.req() + w.resp()) * 0.8;
+  n.glue_ge = 25e3;
+  return n;
+}
+
+}  // namespace mp3d::phys

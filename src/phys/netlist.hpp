@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: Apache-2.0
+// Gate-equivalent inventory of the MemPool tile and group logic, derived
+// from the architectural configuration. The Snitch core figure (60 kGE)
+// is the paper's; interconnect sizes follow a crosspoint model.
+#pragma once
+
+#include "arch/params.hpp"
+#include "phys/tech.hpp"
+
+namespace mp3d::phys {
+
+/// Interconnect bus widths (bits) used for wiring, F2F and GE estimates.
+struct BusWidths {
+  u32 addr = 32;
+  u32 data = 32;
+  u32 req_ctrl = 10;   ///< be, wen, id, valid/ready
+  u32 resp_ctrl = 4;
+  u32 req() const { return addr + data + req_ctrl; }
+  u32 resp() const { return data + resp_ctrl; }
+};
+
+struct TileNetlist {
+  double cores_ge = 0.0;        ///< 4 Snitch cores (paper: 60 kGE each)
+  double xbar_ge = 0.0;         ///< fully-connected local crossbar
+  double icache_ctrl_ge = 0.0;  ///< I$ controller + tag logic
+  double glue_ge = 0.0;         ///< AXI plug, remote-port muxes, misc
+  double total_ge() const { return cores_ge + xbar_ge + icache_ctrl_ge + glue_ge; }
+  double cell_area_mm2(const Technology& tech) const {
+    return um2_to_mm2(total_ge() * tech.ge_area_um2);
+  }
+};
+
+struct GroupNetlist {
+  double switches_ge = 0.0;    ///< 4 radix-4 16x16 butterflies (req+resp)
+  double pipeline_ge = 0.0;    ///< register stages on the network paths
+  double glue_ge = 0.0;
+  double total_ge() const { return switches_ge + pipeline_ge + glue_ge; }
+  double cell_area_mm2(const Technology& tech) const {
+    return um2_to_mm2(total_ge() * tech.ge_area_um2);
+  }
+};
+
+inline constexpr double kSnitchCoreGe = 60e3;  ///< paper §IV
+
+TileNetlist tile_netlist(const arch::ClusterConfig& cfg);
+GroupNetlist group_netlist(const arch::ClusterConfig& cfg);
+BusWidths bus_widths(const arch::ClusterConfig& cfg);
+
+}  // namespace mp3d::phys

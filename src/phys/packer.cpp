@@ -1,0 +1,146 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/packer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace mp3d::phys {
+namespace {
+
+struct Piece {
+  double w;
+  double h;
+};
+
+// Pack pieces into shelves of fixed width. Each piece may be rotated; the
+// heuristic keeps shelves homogeneous in orientation where possible
+// (choose the orientation that wastes less shelf height).
+PackResult pack_pieces(std::vector<Piece> pieces, double width) {
+  PackResult out;
+  out.width_mm = width;
+  for (const Piece& p : pieces) {
+    if (std::min(p.w, p.h) > width) {
+      return out;  // infeasible
+    }
+    out.macro_area_mm2 += p.w * p.h;
+  }
+  // Tall-first ordering gives tight shelves for near-identical macros.
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    return std::max(a.h, a.w) > std::max(b.h, b.w);
+  });
+  double total_height = 0.0;
+  std::size_t i = 0;
+  while (i < pieces.size()) {
+    // Try both orientations for this shelf's seed piece; fill greedily.
+    double best_height = 0.0;
+    std::size_t best_count = 0;
+    for (const bool rotate : {false, true}) {
+      double x = 0.0;
+      double shelf_h = 0.0;
+      std::size_t count = 0;
+      for (std::size_t j = i; j < pieces.size(); ++j) {
+        const double pw = rotate ? pieces[j].h : pieces[j].w;
+        const double ph = rotate ? pieces[j].w : pieces[j].h;
+        if (pw > width) {
+          break;
+        }
+        if (x + pw > width + 1e-12) {
+          break;
+        }
+        x += pw;
+        shelf_h = std::max(shelf_h, ph);
+        ++count;
+      }
+      if (count == 0) {
+        continue;
+      }
+      // Prefer the orientation that packs more area per shelf height.
+      const bool better =
+          best_count == 0 ||
+          static_cast<double>(count) / shelf_h > static_cast<double>(best_count) / best_height;
+      if (better) {
+        best_height = shelf_h;
+        best_count = count;
+      }
+    }
+    MP3D_ASSERT(best_count > 0);
+    total_height += best_height;
+    ++out.shelves;
+    i += best_count;
+  }
+  out.height_mm = total_height;
+  out.feasible = true;
+  return out;
+}
+
+std::vector<Piece> to_pieces(const std::vector<SramMacro>& macros) {
+  std::vector<Piece> pieces;
+  pieces.reserve(macros.size());
+  for (const SramMacro& m : macros) {
+    pieces.push_back(Piece{m.width_mm, m.height_mm});
+  }
+  return pieces;
+}
+
+}  // namespace
+
+PackResult shelf_pack(const std::vector<SramMacro>& macros, double width_mm) {
+  MP3D_CHECK(!macros.empty(), "nothing to pack");
+  MP3D_CHECK(width_mm > 0.0, "packing width must be positive");
+  return pack_pieces(to_pieces(macros), width_mm);
+}
+
+PackResult pack_into_width(const std::vector<SramMacro>& macros, double width_mm) {
+  return shelf_pack(macros, width_mm);
+}
+
+PackResult pack_best(const std::vector<SramMacro>& macros, double max_aspect) {
+  MP3D_CHECK(!macros.empty(), "nothing to pack");
+  double area = 0.0;
+  for (const SramMacro& m : macros) {
+    area += m.area_mm2;
+  }
+  // Candidate widths: multiples of the macro dimensions around the square
+  // root of the total area — these are where grid packings click in.
+  std::set<double> candidates;
+  const double ideal = std::sqrt(area);
+  for (const SramMacro& m : macros) {
+    for (int k = 1; k <= 16; ++k) {
+      candidates.insert(k * m.width_mm);
+      candidates.insert(k * m.height_mm);
+    }
+  }
+  candidates.insert(ideal);
+  candidates.insert(ideal * 1.15);
+  candidates.insert(ideal * 0.9);
+
+  PackResult best;
+  for (const double w : candidates) {
+    if (w < 0.5 * ideal || w > 3.0 * ideal) {
+      continue;
+    }
+    const PackResult r = shelf_pack(macros, w);
+    if (!r.feasible || r.aspect() > max_aspect) {
+      continue;
+    }
+    if (!best.feasible || r.bbox_area_mm2() < best.bbox_area_mm2()) {
+      best = r;
+    }
+  }
+  if (!best.feasible) {
+    // Fall back without the aspect cap.
+    for (const double w : candidates) {
+      const PackResult r = shelf_pack(macros, w);
+      if (r.feasible && (!best.feasible || r.bbox_area_mm2() < best.bbox_area_mm2())) {
+        best = r;
+      }
+    }
+  }
+  MP3D_CHECK(best.feasible, "packing failed for every candidate width");
+  return best;
+}
+
+}  // namespace mp3d::phys

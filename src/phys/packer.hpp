@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: Apache-2.0
+// Macro floorplanner: shelf (row) packing with rotation, used to build the
+// memory-die floorplans of Figure 3. MemPool banks are identical macros,
+// so grid-like packings (e.g. the paper's 5x3 arrangement for the 8 MiB
+// memory die) emerge naturally from the shelf search.
+#pragma once
+
+#include <vector>
+
+#include "phys/sram.hpp"
+
+namespace mp3d::phys {
+
+struct PackResult {
+  double width_mm = 0.0;
+  double height_mm = 0.0;
+  double macro_area_mm2 = 0.0;
+  u32 shelves = 0;
+  bool feasible = false;
+
+  double bbox_area_mm2() const { return width_mm * height_mm; }
+  double utilization() const {
+    const double a = bbox_area_mm2();
+    return a <= 0.0 ? 0.0 : macro_area_mm2 / a;
+  }
+  double aspect() const {
+    return height_mm <= 0.0 ? 0.0
+                            : std::max(width_mm, height_mm) / std::min(width_mm, height_mm);
+  }
+};
+
+/// Pack into a fixed width (rotation allowed per shelf); height is the
+/// resulting stack of shelves. Infeasible if any macro exceeds the width.
+PackResult shelf_pack(const std::vector<SramMacro>& macros, double width_mm);
+
+/// Search candidate widths for the densest near-square packing (aspect
+/// capped at `max_aspect`).
+PackResult pack_best(const std::vector<SramMacro>& macros, double max_aspect = 1.6);
+
+/// Smallest bounding box with width >= `min_width` (used to fit the memory
+/// die under the logic die's outline).
+PackResult pack_into_width(const std::vector<SramMacro>& macros, double width_mm);
+
+}  // namespace mp3d::phys

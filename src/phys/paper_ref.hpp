@@ -1,0 +1,72 @@
+// SPDX-License-Identifier: Apache-2.0
+// Reference values transcribed from the MemPool-3D paper (DATE 2022),
+// normalized to the MemPool-2D 1 MiB baseline exactly as the paper's
+// tables report them. Used by the benches to print paper-vs-model columns
+// and by tests that pin the reproduced trends.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "phys/tile_flow.hpp"
+
+namespace mp3d::phys::paper {
+
+struct TileRef {
+  Flow flow;
+  u64 capacity;
+  double footprint_norm;     ///< vs 2D 1 MiB tile
+  double logic_util;         ///< core utilization (logic die / 2D die)
+  std::optional<double> mem_util;  ///< memory die (3D only)
+};
+
+struct GroupRef {
+  Flow flow;
+  u64 capacity;
+  double footprint_norm;       ///< vs 2D 1 MiB group
+  double combined_area_norm;
+  double wire_length_norm;
+  double density;              ///< percent
+  double buffers;              ///< absolute count
+  std::optional<double> f2f_bumps;  ///< absolute count (3D only)
+  double eff_freq_norm;
+  double tns_norm;             ///< negative; vs baseline TNS
+  double failing_paths;        ///< absolute count
+  double power_norm;
+  double pdp_norm;
+};
+
+/// Table I rows (all eight configurations).
+const std::vector<TileRef>& table1();
+
+/// Table II rows (all eight configurations).
+const std::vector<GroupRef>& table2();
+
+const GroupRef& group_ref(Flow flow, u64 capacity);
+const TileRef& tile_ref(Flow flow, u64 capacity);
+
+/// Figure 6: cycle-count speedup (fraction, e.g. 0.43) of each capacity
+/// over the 1 MiB configuration at the same bandwidth; from the paper's
+/// reported totals at 4/16/64 B/cycle for the 8 MiB point and the
+/// per-step annotations.
+struct Fig6Ref {
+  double bw;
+  u64 capacity;
+  double speedup_vs_half;  ///< vs previous capacity at same bandwidth
+};
+const std::vector<Fig6Ref>& figure6();
+
+/// Figures 7/8/9: per-capacity 3D-over-2D gains at 16 B/cycle.
+struct GainRef {
+  u64 capacity;
+  double perf_gain_3d_over_2d;
+  double eff_gain_3d_over_2d;
+  double edp_var_3d_over_2d;  ///< negative = better
+};
+const std::vector<GainRef>& figures789();
+
+inline constexpr double kPerfGain8MiB3DvsBaseline = 0.84;  ///< Fig. 7 headline
+inline constexpr double kEffGain1MiB3DvsBaseline = 0.14;   ///< Fig. 8 headline (+1.4% hmm see note)
+
+}  // namespace mp3d::phys::paper

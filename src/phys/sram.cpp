@@ -1,0 +1,36 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/sram.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace mp3d::phys {
+
+SramMacro compile_sram(const Technology& tech, u32 words, u32 bits) {
+  MP3D_CHECK(words >= 16 && is_pow2(words), "SRAM words: power of two, >= 16");
+  MP3D_CHECK(bits >= 8 && bits <= 256, "SRAM width 8..256 bits");
+  SramMacro m;
+  m.words = words;
+  m.bits = bits;
+  const double cell_area_mm2 =
+      um2_to_mm2(static_cast<double>(words) * bits * tech.sram_bitcell_um2);
+  m.area_mm2 = tech.sram_periphery_mm2 + cell_area_mm2 / tech.sram_array_efficiency;
+  m.width_mm = std::sqrt(m.area_mm2 * tech.sram_aspect);
+  m.height_mm = m.area_mm2 / m.width_mm;
+  const double lw = std::log2(static_cast<double>(words));
+  m.access_ns = tech.sram_t0_ns +
+                tech.sram_t_growth_ns * std::sqrt(std::max(0.0, lw - 8.0));
+  m.access_energy_pj = tech.sram_e0_pj + tech.sram_e_per_log2_word_pj * lw;
+  m.leakage_mw =
+      static_cast<double>(m.capacity_bytes()) / 1024.0 * tech.sram_leak_uw_per_kib / 1000.0;
+  return m;
+}
+
+std::string SramMacro::to_string() const {
+  return strfmt("SRAM %ux%u: %.4f mm2 (%.3f x %.3f), %.3f ns, %.2f pJ", words, bits,
+                area_mm2, width_mm, height_mm, access_ns, access_energy_pj);
+}
+
+}  // namespace mp3d::phys

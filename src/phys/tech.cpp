@@ -1,0 +1,11 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/tech.hpp"
+
+namespace mp3d::phys {
+
+const Technology& Technology::node28() {
+  static const Technology tech{};
+  return tech;
+}
+
+}  // namespace mp3d::phys

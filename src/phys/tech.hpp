@@ -1,0 +1,77 @@
+// SPDX-License-Identifier: Apache-2.0
+// Technology abstraction: a synthetic 28 nm high-k node.
+//
+// No PDK is available, so the constants below define a *model* node whose
+// absolute numbers are plausible for a 28 nm HPC process and whose
+// relative behaviour (wire-dominated timing, periphery-dominated small
+// SRAM macros, buffered-wire delay) is calibrated once against the
+// baseline-normalized Table I/II data of the MemPool-3D paper. All paper
+// comparisons are made on normalized values, exactly as the paper reports
+// them.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace mp3d::phys {
+
+struct Technology {
+  std::string name = "model-28nm-hk";
+
+  // ---- standard cells -------------------------------------------------------
+  double ge_area_um2 = 0.49;          ///< one NAND2-equivalent
+  double logic_density_target = 0.90; ///< placement utilization target
+  double gate_delay_ns = 0.032;       ///< loaded FO4-class stage delay
+  double cell_cap_ff_per_ge = 1.15;   ///< switched cap per GE (incl. local wire)
+
+  // ---- global wires ---------------------------------------------------------
+  double wire_delay_ns_per_mm = 0.145;  ///< optimally buffered global wire
+  double wire_cap_ff_per_mm = 210.0;
+  double buffer_interval_mm = 0.135;    ///< repeater (buffer/inverter pair) spacing
+  double buffer_area_ge = 24.0;         ///< repeater incl. inverter pair
+  double track_pitch_um = 0.10;         ///< routable track pitch (Mx)
+  double routing_utilization = 0.42;    ///< achievable track occupancy
+  double channel_guard_um = 85.0;       ///< power straps + halos per channel
+
+  // ---- SRAM macro model ------------------------------------------------------
+  double sram_bitcell_um2 = 0.127;
+  double sram_array_efficiency = 0.575; ///< cell-area / array-area (tall, narrow banks)
+  double sram_periphery_mm2 = 0.00372;  ///< fixed periphery per macro
+  double sram_aspect = 2.0;             ///< width / height
+  // Access time: t0 at 256 words, then saturating growth (the compiler
+  // splits word/bit lines for deeper macros): t = t0 + k*sqrt(log2(w)-8).
+  double sram_t0_ns = 0.45;
+  double sram_t_growth_ns = 0.065;
+  double sram_e0_pj = 2.6;              ///< access energy intercept
+  double sram_e_per_log2_word_pj = 0.55;
+  double sram_leak_uw_per_kib = 1.9;
+  /// Background (clock/precharge/wordline) switched SRAM power: sublinear
+  /// in capacity, c * KiB^p mW at 1 GHz (bigger banks amortize periphery).
+  double sram_background_mw_ghz = 14.4;
+  double sram_background_exp = 0.55;
+
+  // ---- power -----------------------------------------------------------------
+  double vdd = 0.90;
+  double activity = 0.18;               ///< average toggle rate of logic
+  double leak_uw_per_kge = 2.4;
+
+  // ---- 3D (F2F hybrid bonding, paper §III) -----------------------------------
+  double f2f_pitch_um = 10.0;
+  double f2f_cap_ff = 1.0;
+  double f2f_res_ohm = 0.5;
+  double f2f_delay_ns = 0.002;          ///< per crossing, essentially free
+
+  // ---- BEOL stacks -----------------------------------------------------------
+  u32 layers_2d = 8;        ///< M8 stack for the 2D group flow
+  u32 layers_2d_tile = 6;   ///< tiles are routed up to M6 in both flows
+  u32 layers_3d = 12;       ///< mirrored M6M6 stack
+  /// In 2D, group routing may use the layers above the tiles (M7/M8); in
+  /// 3D the tile abstraction blocks all twelve layers, confining group
+  /// routing to the channels (paper §III).
+  bool over_tile_routing_2d = true;
+
+  static const Technology& node28();
+};
+
+}  // namespace mp3d::phys

@@ -1,0 +1,155 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "phys/tile_flow.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace mp3d::phys {
+namespace {
+
+// Mixed logic+macro placement loses some density relative to a pure-macro
+// die: macros need halos, pin access and power-grid stitching next to
+// cells. In 2D the SPM banks abut in rows, so the loss is small.
+constexpr double kMacroPlacementEff2D = 0.97;
+constexpr double kMacroPlacementEffLogicDie = 0.88;
+
+std::vector<SramMacro> icache_macros(const arch::ClusterConfig& cfg,
+                                     const Technology& tech) {
+  // 2 KiB of I$ data as two 256x32 banks.
+  const u32 words = static_cast<u32>(cfg.icache_size / 2 / 4);
+  return {compile_sram(tech, words), compile_sram(tech, words)};
+}
+
+}  // namespace
+
+const char* flow_name(Flow flow) { return flow == Flow::k2D ? "2D" : "3D"; }
+
+std::string TileImpl::to_string() const {
+  return strfmt(
+      "%s tile (%llu MiB SPM): footprint %.4f mm2 (%.3f x %.3f), logic util %.1f %%, "
+      "mem util %.1f %%, %u banks + %s I$ on logic die",
+      flow_name(flow), static_cast<unsigned long long>(spm_capacity / MiB(1)),
+      footprint_mm2, width_mm, height_mm, logic_die_util * 100.0, mem_die_util * 100.0,
+      spm_banks_on_logic_die, icache_on_logic_die ? "the" : "no");
+}
+
+TileImpl implement_tile(const arch::ClusterConfig& cfg, const Technology& tech,
+                        Flow flow) {
+  const TileNetlist netlist = tile_netlist(cfg);
+  const SramMacro bank = compile_sram(tech, cfg.bank_words());
+  const std::vector<SramMacro> icache = icache_macros(cfg, tech);
+
+  TileImpl impl;
+  impl.flow = flow;
+  impl.spm_capacity = cfg.spm_capacity;
+  impl.bank_macro = bank;
+  impl.logic_cell_area_mm2 = netlist.cell_area_mm2(tech);
+  impl.sram_access_ns = bank.access_ns;
+  impl.macro_area_total_mm2 =
+      cfg.banks_per_tile * bank.area_mm2 + icache[0].area_mm2 * icache.size();
+  impl.sram_leakage_mw = cfg.banks_per_tile * bank.leakage_mw +
+                         icache.size() * icache[0].leakage_mw;
+  impl.logic_leakage_mw = netlist.total_ge() / 1e3 * tech.leak_uw_per_kge / 1e3;
+
+  if (flow == Flow::k2D) {
+    impl.footprint_mm2 = impl.logic_cell_area_mm2 / tech.logic_density_target +
+                         impl.macro_area_total_mm2 / kMacroPlacementEff2D;
+    impl.logic_die_util =
+        (impl.logic_cell_area_mm2 + impl.macro_area_total_mm2) / impl.footprint_mm2;
+    impl.mem_die_util = 0.0;
+    impl.width_mm = std::sqrt(impl.footprint_mm2);
+    impl.height_mm = impl.width_mm;
+    return impl;
+  }
+
+  // ---- 3D: enumerate partitions (banks moved to logic die, I$ placement) ----
+  const double logic_only_req = impl.logic_cell_area_mm2 / tech.logic_density_target;
+  struct Candidate {
+    double footprint = 0.0;
+    double mem_util = 0.0;
+    double logic_util = 0.0;
+    double macro_on_logic = 0.0;
+    u32 moved_banks = 0;
+    bool icache_on_logic = false;
+    bool valid = false;
+  };
+  Candidate best;
+  for (u32 moved = 0; moved <= 3; ++moved) {
+    for (const bool ic_on_logic : {false, true}) {
+      std::vector<SramMacro> mem_die;
+      for (u32 b = moved; b < cfg.banks_per_tile; ++b) {
+        mem_die.push_back(bank);
+      }
+      if (!ic_on_logic) {
+        mem_die.insert(mem_die.end(), icache.begin(), icache.end());
+      }
+      if (mem_die.empty()) {
+        continue;
+      }
+      double macro_on_logic = moved * bank.area_mm2;
+      if (ic_on_logic) {
+        macro_on_logic += icache.size() * icache[0].area_mm2;
+      }
+      const double logic_req =
+          logic_only_req + macro_on_logic / kMacroPlacementEffLogicDie;
+      const double logic_w = std::sqrt(logic_req);
+      // First try to fit the memory die under the logic die outline.
+      double footprint = 0.0;
+      const PackResult under = pack_into_width(mem_die, logic_w);
+      if (under.feasible && under.height_mm <= logic_w + 1e-9) {
+        footprint = logic_req;
+      } else {
+        const PackResult grown = pack_best(mem_die, 1.5);
+        footprint = std::max(logic_req, grown.bbox_area_mm2());
+      }
+      double mem_area = 0.0;
+      for (const SramMacro& m : mem_die) {
+        mem_area += m.area_mm2;
+      }
+      Candidate cand;
+      cand.footprint = footprint;
+      cand.mem_util = mem_area / footprint;
+      cand.logic_util =
+          (impl.logic_cell_area_mm2 + macro_on_logic) / footprint;
+      cand.macro_on_logic = macro_on_logic;
+      cand.moved_banks = moved;
+      cand.icache_on_logic = ic_on_logic;
+      cand.valid = true;
+      const bool better =
+          !best.valid || cand.footprint < best.footprint - 1e-9 ||
+          (std::abs(cand.footprint - best.footprint) <= 1e-9 &&
+           cand.mem_util > best.mem_util);
+      if (better) {
+        best = cand;
+      }
+    }
+  }
+  MP3D_ASSERT(best.valid);
+  impl.footprint_mm2 = best.footprint;
+  impl.logic_die_util = best.logic_util;
+  impl.mem_die_util = best.mem_util;
+  impl.spm_banks_on_logic_die = best.moved_banks;
+  impl.icache_on_logic_die = best.icache_on_logic;
+  impl.macro_area_logic_die_mm2 = best.macro_on_logic;
+  impl.width_mm = std::sqrt(impl.footprint_mm2);
+  impl.height_mm = impl.width_mm;
+
+  // Architectural F2F signals: request/response buses of every macro left
+  // on the memory die, plus clock/reset/test spines.
+  const BusWidths w = bus_widths(cfg);
+  const u32 bank_pins = log2_exact(cfg.bank_words()) + 32 /*wdata*/ + 32 /*rdata*/ +
+                        4 /*be*/ + 3 /*ctrl*/;
+  const u32 banks_on_mem = cfg.banks_per_tile - best.moved_banks;
+  u32 signals = banks_on_mem * bank_pins;
+  if (!best.icache_on_logic) {
+    signals += 2 * (log2_exact(cfg.icache_size / 2 / 4) + 32 + 3);
+  }
+  signals += 64;  // clock tree taps, reset, DFT
+  (void)w;
+  impl.f2f_signals = signals;
+  return impl;
+}
+
+}  // namespace mp3d::phys

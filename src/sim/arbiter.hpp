@@ -1,0 +1,46 @@
+// SPDX-License-Identifier: Apache-2.0
+// Round-robin arbiter, the arbitration policy used throughout MemPool's
+// interconnect (tile crossbars and butterfly switches).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace mp3d::sim {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t num_inputs)
+      : num_inputs_(num_inputs), next_(0) {
+    MP3D_ASSERT(num_inputs_ > 0);
+  }
+
+  std::size_t num_inputs() const { return num_inputs_; }
+
+  /// Picks the first requesting input at or after the rotating priority
+  /// pointer; advances the pointer past the winner (true round-robin).
+  /// Returns num_inputs() if nobody requests.
+  std::size_t pick(const std::vector<bool>& requests) {
+    MP3D_ASSERT(requests.size() == num_inputs_);
+    for (std::size_t i = 0; i < num_inputs_; ++i) {
+      const std::size_t idx = (next_ + i) % num_inputs_;
+      if (requests[idx]) {
+        next_ = (idx + 1) % num_inputs_;
+        return idx;
+      }
+    }
+    return num_inputs_;
+  }
+
+  /// Grant-and-advance for callers that track requests themselves.
+  void advance_past(std::size_t winner) { next_ = (winner + 1) % num_inputs_; }
+  std::size_t priority_pointer() const { return next_; }
+
+ private:
+  std::size_t num_inputs_;
+  std::size_t next_;
+};
+
+}  // namespace mp3d::sim

@@ -1,0 +1,37 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sim/counters.hpp"
+
+#include <sstream>
+
+namespace mp3d::sim {
+
+void CounterSet::bump(const std::string& name, u64 delta) { counters_[name] += delta; }
+
+void CounterSet::set(const std::string& name, u64 value) { counters_[name] = value; }
+
+u64 CounterSet::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool CounterSet::has(const std::string& name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+}
+
+void CounterSet::reset() { counters_.clear(); }
+
+std::string CounterSet::to_string() const {
+  std::ostringstream oss;
+  for (const auto& [name, value] : counters_) {
+    oss << name << " = " << value << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace mp3d::sim

@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: Apache-2.0
+// Named performance counters. Components register counters into a shared
+// registry; RunResult snapshots them so tests and benches can assert on
+// microarchitectural behaviour (bank conflicts, stall causes, link
+// occupancy) rather than only end-to-end cycle counts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mp3d::sim {
+
+class CounterSet {
+ public:
+  /// Increment counter `name` (creates it at zero first).
+  void bump(const std::string& name, u64 delta = 1);
+  void set(const std::string& name, u64 value);
+  u64 get(const std::string& name) const;  ///< 0 if absent
+  bool has(const std::string& name) const;
+
+  const std::map<std::string, u64>& all() const { return counters_; }
+  void merge(const CounterSet& other);
+  void reset();
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace mp3d::sim

@@ -1,0 +1,113 @@
+// SPDX-License-Identifier: Apache-2.0
+// DelayPipe: a fixed-latency, unbounded-throughput pipeline register chain.
+// Items pushed at cycle c become visible at cycle c + latency. This models
+// the register stages of MemPool's hierarchical interconnect: requests do
+// not interfere inside the pipe; contention is modeled at the endpoints
+// (bank ports, link arbiters).
+//
+// BoundedQueue: a ready/valid FIFO with finite capacity, used for LSU queues
+// and arbiter inputs where back-pressure matters.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::sim {
+
+template <typename T>
+class DelayPipe {
+ public:
+  explicit DelayPipe(u32 latency) : latency_(latency) {}
+
+  u32 latency() const { return latency_; }
+
+  void push(Cycle now, T item) {
+    entries_.push_back(Entry{now + latency_, std::move(item)});
+    // Ready cycles are monotone because `now` is monotone.
+    MP3D_ASSERT(entries_.size() < 2 || entries_[entries_.size() - 2].ready_at <=
+                                           entries_.back().ready_at);
+  }
+
+  /// True if an item is deliverable at cycle `now`.
+  bool ready(Cycle now) const {
+    return !entries_.empty() && entries_.front().ready_at <= now;
+  }
+
+  const T& front() const {
+    MP3D_ASSERT(!entries_.empty());
+    return entries_.front().item;
+  }
+
+  T pop(Cycle now) {
+    MP3D_ASSERT(ready(now));
+    T item = std::move(entries_.front().item);
+    entries_.pop_front();
+    return item;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Cycle ready_at;
+    T item;
+  };
+  u32 latency_;
+  std::deque<Entry> entries_;
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    MP3D_ASSERT(capacity_ > 0);
+  }
+
+  bool full() const { return items_.size() >= capacity_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  bool try_push(T item) {
+    if (full()) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  T& front() {
+    MP3D_ASSERT(!items_.empty());
+    return items_.front();
+  }
+
+  const T& front() const {
+    MP3D_ASSERT(!items_.empty());
+    return items_.front();
+  }
+
+  T pop() {
+    MP3D_ASSERT(!items_.empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void clear() { items_.clear(); }
+
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace mp3d::sim

@@ -1,0 +1,14 @@
+// SPDX-License-Identifier: Apache-2.0
+// Fundamental simulation types.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace mp3d::sim {
+
+using Cycle = u64;
+
+/// Sentinel for "never".
+inline constexpr Cycle kNever = ~Cycle{0};
+
+}  // namespace mp3d::sim

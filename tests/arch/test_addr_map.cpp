@@ -1,0 +1,96 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/addr_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mp3d::arch {
+namespace {
+
+TEST(AddrMap, RegionClassification) {
+  const ClusterConfig cfg = ClusterConfig::mempool(MiB(1));
+  const AddrMap map(cfg);
+  EXPECT_EQ(map.classify(0x0), Region::kSpmSeq);
+  EXPECT_EQ(map.classify(static_cast<u32>(cfg.seq_region_bytes())),
+            Region::kSpmInterleaved);
+  EXPECT_EQ(map.classify(static_cast<u32>(cfg.spm_capacity) - 4),
+            Region::kSpmInterleaved);
+  EXPECT_EQ(map.classify(static_cast<u32>(cfg.spm_capacity)), Region::kInvalid);
+  EXPECT_EQ(map.classify(cfg.ctrl_base), Region::kCtrl);
+  EXPECT_EQ(map.classify(cfg.gmem_base), Region::kGmem);
+  EXPECT_EQ(map.classify(cfg.gmem_base + static_cast<u32>(cfg.gmem_size) - 4),
+            Region::kGmem);
+  EXPECT_EQ(map.classify(0x7000'0000), Region::kInvalid);
+}
+
+TEST(AddrMap, SequentialRegionStaysLocal) {
+  const ClusterConfig cfg = ClusterConfig::mempool(MiB(1));
+  const AddrMap map(cfg);
+  for (u32 tile = 0; tile < cfg.num_tiles(); tile += 7) {
+    const u32 base = map.seq_base(tile);
+    for (u32 off = 0; off < cfg.seq_bytes_per_tile; off += 4) {
+      const BankTarget t = map.spm_target(base + off);
+      ASSERT_EQ(t.tile, tile) << "offset " << off;
+      ASSERT_LT(t.row, map.seq_rows_per_bank());
+    }
+  }
+}
+
+TEST(AddrMap, InterleavedRoundRobinsAcrossAllBanks) {
+  const ClusterConfig cfg = ClusterConfig::mempool(MiB(1));
+  const AddrMap map(cfg);
+  const u32 banks = cfg.num_banks();
+  for (u64 w = 0; w < 3ULL * banks; ++w) {
+    const u32 addr = map.interleaved_addr(w);
+    const BankTarget t = map.spm_target(addr);
+    const u32 global_bank = t.tile * cfg.banks_per_tile + t.bank;
+    EXPECT_EQ(global_bank, w % banks);
+    EXPECT_EQ(t.row, map.seq_rows_per_bank() + w / banks);
+  }
+}
+
+TEST(AddrMap, EveryWordMapsToUniqueBankRow) {
+  const ClusterConfig cfg = ClusterConfig::mini();
+  const AddrMap map(cfg);
+  std::set<std::tuple<u32, u32, u32>> seen;
+  for (u32 addr = 0; addr < cfg.spm_capacity; addr += 4) {
+    const BankTarget t = map.spm_target(addr);
+    ASSERT_LT(t.tile, cfg.num_tiles());
+    ASSERT_LT(t.bank, cfg.banks_per_tile);
+    ASSERT_LT(t.row, cfg.bank_words());
+    const bool inserted = seen.insert({t.tile, t.bank, t.row}).second;
+    ASSERT_TRUE(inserted) << "aliased at addr " << addr;
+  }
+  // Bijective: every (tile, bank, row) triple is hit exactly once.
+  EXPECT_EQ(seen.size(), cfg.spm_capacity / 4);
+}
+
+TEST(AddrMap, InterleavedAddrInverse) {
+  const ClusterConfig cfg = ClusterConfig::mini();
+  const AddrMap map(cfg);
+  for (u64 w = 0; w < map.interleaved_words(); w += 13) {
+    const u32 addr = map.interleaved_addr(w);
+    EXPECT_EQ(map.classify(addr), Region::kSpmInterleaved);
+  }
+}
+
+TEST(AddrMap, CapacityScalingChangesRowsNotMapping) {
+  // Growing the SPM grows rows per bank; the bank index of a given
+  // interleaved word must not change (same 1024-bank round-robin).
+  const ClusterConfig c1 = ClusterConfig::mempool(MiB(1));
+  const ClusterConfig c8 = ClusterConfig::mempool(MiB(8));
+  const AddrMap m1(c1);
+  const AddrMap m8(c8);
+  EXPECT_EQ(c1.bank_words(), 256U);
+  EXPECT_EQ(c8.bank_words(), 2048U);
+  for (u64 w = 0; w < 4096; w += 97) {
+    const BankTarget t1 = m1.spm_target(m1.interleaved_addr(w));
+    const BankTarget t8 = m8.spm_target(m8.interleaved_addr(w));
+    EXPECT_EQ(t1.tile, t8.tile);
+    EXPECT_EQ(t1.bank, t8.bank);
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::arch

@@ -1,0 +1,326 @@
+// SPDX-License-Identifier: Apache-2.0
+// Functional execution tests: single-core programs exercising the ISS.
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace mp3d::arch {
+namespace {
+
+using mp3d::testing::ctrl_prelude;
+using mp3d::testing::run_asm;
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : cluster_(ClusterConfig::tiny()) {}
+
+  /// Runs `body` on core 0 (others spin on wfi), EOC with a0's value.
+  RunResult run_core0(const std::string& body) {
+    const std::string src = ctrl_prelude(cluster_.config()) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+)" + body + R"(
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+    return run_asm(cluster_, src);
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(ExecTest, ArithmeticChain) {
+  const RunResult r = run_core0(R"(
+    li a0, 10
+    li a1, 32
+    add a0, a0, a1    # 42
+  )");
+  EXPECT_TRUE(r.eoc);
+  EXPECT_EQ(r.exit_code, 42U);
+}
+
+TEST_F(ExecTest, SignedArithmetic) {
+  const RunResult r = run_core0(R"(
+    li a0, -7
+    li a1, 3
+    mul a2, a0, a1      # -21
+    div a3, a2, a1      # -7
+    rem a4, a2, a1      # 0
+    sub a0, a3, a0      # 0
+    add a0, a0, a4
+    addi a0, a0, 5
+  )");
+  EXPECT_EQ(r.exit_code, 5U);
+}
+
+TEST_F(ExecTest, MulhVariants) {
+  const RunResult r = run_core0(R"(
+    li a1, 0x80000000
+    li a2, 2
+    mulhu a3, a1, a2    # 1
+    mulh  a4, a1, a2    # -1
+    add a0, a3, a4      # 0
+    addi a0, a0, 9
+  )");
+  EXPECT_EQ(r.exit_code, 9U);
+}
+
+TEST_F(ExecTest, DivisionEdgeCases) {
+  const RunResult r = run_core0(R"(
+    li a1, 5
+    li a2, 0
+    div a3, a1, a2       # -1 (div by zero)
+    rem a4, a1, a2       # 5
+    li a5, 0x80000000
+    li a6, -1
+    div a7, a5, a6       # INT_MIN (overflow)
+    xor t1, a7, a5       # 0
+    add a0, a3, a4       # 4
+    add a0, a0, t1       # 4
+  )");
+  EXPECT_EQ(r.exit_code, 4U);
+}
+
+TEST_F(ExecTest, ShiftsAndCompares) {
+  const RunResult r = run_core0(R"(
+    li a1, -16
+    srai a2, a1, 2       # -4
+    srli a3, a1, 28      # 0xF
+    slli a4, a3, 1       # 30
+    slt a5, a1, zero     # 1
+    sltu a6, zero, a1    # 1
+    add a0, a2, a4       # 26
+    add a0, a0, a5
+    add a0, a0, a6       # 28
+  )");
+  EXPECT_EQ(r.exit_code, 28U);
+}
+
+TEST_F(ExecTest, BranchesTakenAndNot) {
+  const RunResult r = run_core0(R"(
+    li a0, 0
+    li a1, 3
+loop:
+    addi a0, a0, 10
+    addi a1, a1, -1
+    bnez a1, loop        # 3 iterations -> a0 = 30
+    blt a0, zero, bad
+    bge a0, zero, good
+bad:
+    li a0, 0
+good:
+    addi a0, a0, 1       # 31
+  )");
+  EXPECT_EQ(r.exit_code, 31U);
+}
+
+TEST_F(ExecTest, UnsignedBranches) {
+  const RunResult r = run_core0(R"(
+    li a1, 0xFFFFFFFF
+    li a2, 1
+    li a0, 0
+    bltu a2, a1, t1      # taken: 1 < 0xFFFFFFFF unsigned
+    j done
+t1: addi a0, a0, 1
+    bgeu a1, a2, t2      # taken
+    j done
+t2: addi a0, a0, 1
+done:
+  )");
+  EXPECT_EQ(r.exit_code, 2U);
+}
+
+TEST_F(ExecTest, FunctionCallReturn) {
+  const RunResult r = run_core0(R"(
+    li a0, 5
+    call double_it
+    call double_it
+    j after
+double_it:
+    add a0, a0, a0
+    ret
+after:
+  )");
+  EXPECT_EQ(r.exit_code, 20U);
+}
+
+TEST_F(ExecTest, MemoryRoundTrip) {
+  const RunResult r = run_core0(R"(
+    li t1, 0x00002000    # interleaved SPM
+    li t2, 0xCAFEBABE
+    sw t2, 0(t1)
+    lw a0, 0(t1)
+    lhu a1, 0(t1)        # 0xBABE
+    lhu a2, 2(t1)        # 0xCAFE
+    lbu a3, 1(t1)        # 0xBA
+    lh  a4, 0(t1)        # sign-extended 0xBABE
+    srli a4, a4, 24      # 0xFF
+    sub a0, a0, t2       # 0
+    add a0, a0, a1
+    add a0, a0, a2
+    add a0, a0, a3
+    add a0, a0, a4
+  )");
+  EXPECT_EQ(r.exit_code, 0xBABEU + 0xCAFEU + 0xBAU + 0xFFU);
+}
+
+TEST_F(ExecTest, ByteAndHalfStores) {
+  const RunResult r = run_core0(R"(
+    li t1, 0x00002100
+    sw zero, 0(t1)
+    li t2, 0xAB
+    sb t2, 2(t1)
+    lw a0, 0(t1)         # 0x00AB0000
+    srli a0, a0, 16      # 0xAB
+    li t3, 0x1234
+    sh t3, 0(t1)
+    lhu a1, 0(t1)        # 0x1234
+    add a0, a0, a1
+  )");
+  EXPECT_EQ(r.exit_code, 0xABU + 0x1234U);
+}
+
+TEST_F(ExecTest, PostIncrementLoadStore) {
+  const RunResult r = run_core0(R"(
+    li t1, 0x00002200
+    li t2, 7
+    p.sw t2, 4(t1!)      # mem[2200]=7, t1=2204
+    li t2, 8
+    p.sw t2, 4(t1!)      # mem[2204]=8, t1=2208
+    li t1, 0x00002200
+    p.lw a0, 4(t1!)      # 7
+    p.lw a1, 4(t1!)      # 8
+    li t3, 8
+    p.lw a2, t3(t1!)     # mem[2208]=0, t1 += 8
+    add a0, a0, a1
+    li t4, 0x00002210
+    sub t4, t4, t1       # 0 if post-increment applied
+    add a0, a0, t4
+  )");
+  EXPECT_EQ(r.exit_code, 15U);
+}
+
+TEST_F(ExecTest, MacAndMsu) {
+  const RunResult r = run_core0(R"(
+    li a0, 100
+    li a1, 5
+    li a2, 7
+    p.mac a0, a1, a2     # 135
+    p.msu a0, a1, a1     # 110
+    li a3, -3
+    li a4, 9
+    p.max a5, a3, a4     # 9
+    p.min a6, a3, a4     # -3
+    p.abs a7, a3         # 3
+    add a0, a0, a5
+    add a0, a0, a6
+    add a0, a0, a7       # 119
+  )");
+  EXPECT_EQ(r.exit_code, 119U);
+}
+
+TEST_F(ExecTest, CsrReads) {
+  const RunResult r = run_core0(R"(
+    csrr a0, mhartid     # core 0
+    csrr a1, mcycle
+    csrr a2, minstret
+    snez a1, a1          # cycle > 0
+    snez a2, a2
+    add a0, a0, a1
+    add a0, a0, a2       # 2
+  )");
+  EXPECT_EQ(r.exit_code, 2U);
+}
+
+TEST_F(ExecTest, ConsoleOutput) {
+  const RunResult r = run_core0(R"(
+    li t1, PUTCHAR
+    li t2, 72            # 'H'
+    sw t2, 0(t1)
+    li t2, 105           # 'i'
+    sw t2, 0(t1)
+    li a0, 0
+  )");
+  EXPECT_EQ(r.console, "Hi");
+}
+
+TEST_F(ExecTest, MarkersRecordCycles) {
+  const RunResult r = run_core0(R"(
+    li t1, MARKER
+    li t2, 1
+    sw t2, 0(t1)
+    nop
+    nop
+    li t2, 2
+    sw t2, 0(t1)
+    li a0, 0
+  )");
+  ASSERT_TRUE(r.marker_cycle(1).has_value());
+  ASSERT_TRUE(r.marker_cycle(2).has_value());
+  EXPECT_GT(*r.marker_cycle(2), *r.marker_cycle(1));
+}
+
+TEST_F(ExecTest, EcallHaltsCore) {
+  const std::string src = ctrl_prelude(cluster_.config()) + R"(
+.text 0x80000000
+    li a0, 77
+    ecall
+)";
+  const RunResult r = run_asm(cluster_, src);
+  EXPECT_FALSE(r.eoc);  // cores all halt via ecall instead
+  EXPECT_EQ(r.core_exit_codes[0], 77U);
+}
+
+TEST_F(ExecTest, IllegalInstructionFaults) {
+  const std::string src = ctrl_prelude(cluster_.config()) + R"(
+.text 0x80000000
+    .word 0xFFFFFFFF
+)";
+  const RunResult r = run_asm(cluster_, src);
+  EXPECT_FALSE(r.core_errors[0].empty());
+}
+
+TEST_F(ExecTest, UnmappedAccessFaults) {
+  const std::string src = ctrl_prelude(cluster_.config()) + R"(
+.text 0x80000000
+    li t0, 0x70000000
+    lw a0, 0(t0)
+)";
+  const RunResult r = run_asm(cluster_, src);
+  EXPECT_FALSE(r.core_errors[0].empty());
+}
+
+TEST_F(ExecTest, AllCoresRunConcurrently) {
+  // Every core atomically adds its (id+1) into an accumulator; core 0 waits
+  // for the expected total then reports it.
+  const std::string src = ctrl_prelude(cluster_.config()) + R"(
+.equ ACC, 0x2000
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    addi t1, t0, 1
+    li t2, ACC
+    amoadd.w zero, t1, (t2)
+    bnez t0, park
+wait:                      # expected sum for 4 cores: 1+2+3+4 = 10
+    lw a0, 0(t2)
+    li t3, 10
+    bne a0, t3, wait
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = run_asm(cluster_, src);
+  EXPECT_TRUE(r.eoc);
+  EXPECT_EQ(r.exit_code, 10U);
+}
+
+}  // namespace
+}  // namespace mp3d::arch

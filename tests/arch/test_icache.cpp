@@ -1,0 +1,159 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/icache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace mp3d::arch {
+namespace {
+
+using mp3d::testing::ctrl_prelude;
+using mp3d::testing::run_asm;
+
+TEST(TileICacheUnit, DirectMappedBasics) {
+  TileICache cache(KiB(2), 32, /*perfect=*/false);
+  EXPECT_FALSE(cache.present(0x80000000));
+  cache.begin_refill(0x80000004);
+  EXPECT_TRUE(cache.miss_pending(0x80000010));  // same line
+  EXPECT_FALSE(cache.miss_pending(0x80000020));
+  cache.finish_refill(cache.line_addr(0x80000004));
+  EXPECT_TRUE(cache.present(0x80000000));
+  EXPECT_TRUE(cache.present(0x8000001C));
+  EXPECT_FALSE(cache.present(0x80000020));
+}
+
+TEST(TileICacheUnit, ConflictEviction) {
+  TileICache cache(KiB(2), 32, false);
+  // 2 KiB / 32 B = 64 lines; addresses 2 KiB apart collide.
+  cache.warm(0x80000000);
+  EXPECT_TRUE(cache.present(0x80000000));
+  cache.warm(0x80000800);
+  EXPECT_TRUE(cache.present(0x80000800));
+  EXPECT_FALSE(cache.present(0x80000000));  // evicted
+}
+
+TEST(TileICacheUnit, FlushInvalidatesAll) {
+  TileICache cache(KiB(2), 32, false);
+  cache.warm(0x80000000);
+  cache.warm(0x80000040);
+  cache.flush();
+  EXPECT_FALSE(cache.present(0x80000000));
+  EXPECT_FALSE(cache.present(0x80000040));
+}
+
+TEST(TileICacheUnit, PerfectModeAlwaysHits) {
+  TileICache cache(KiB(2), 32, true);
+  EXPECT_TRUE(cache.present(0xDEADBEEC));
+}
+
+TEST(ICacheTiming, ColdStartMissesThenHits) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = false;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 50
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = run_asm(cluster, src);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_GT(r.counters.get("icache.misses"), 0U);
+  // The loop body fits one line: after warm-up, iterations hit.
+  EXPECT_GT(r.counters.get("icache.hits"), 100U);
+}
+
+TEST(ICacheTiming, WarmIcachesEliminatesMisses) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = false;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 50
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  isa::AsmOptions opt;
+  opt.default_base = cfg.gmem_base;
+  cluster.load_program(isa::assemble(src, opt));
+  cluster.warm_icaches();
+  const RunResult r = cluster.run(100'000);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_EQ(r.counters.get("icache.misses"), 0U);
+}
+
+TEST(ICacheTiming, RefillsConsumeOffChipBandwidth) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = false;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    li a0, 0
+    csrr t0, mhartid
+    bnez t0, park
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = run_asm(cluster, src);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_GE(r.counters.get("gmem.bytes"), static_cast<u64>(cfg.icache_line));
+}
+
+TEST(ICacheTiming, PerfectVsRealCacheSpeed) {
+  const std::string body = R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 30
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster perfect(cfg);
+  const RunResult rp = run_asm(perfect, ctrl_prelude(cfg) + body);
+
+  cfg.perfect_icache = false;
+  Cluster real(cfg);
+  const RunResult rr = run_asm(real, ctrl_prelude(cfg) + body);
+
+  ASSERT_TRUE(rp.eoc);
+  ASSERT_TRUE(rr.eoc);
+  EXPECT_LT(rp.cycles, rr.cycles);  // cold misses cost real cycles
+}
+
+}  // namespace
+}  // namespace mp3d::arch

@@ -1,0 +1,78 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "arch/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::arch {
+namespace {
+
+TEST(ClusterConfig, PaperDefaults) {
+  const ClusterConfig cfg = ClusterConfig::mempool(MiB(1));
+  EXPECT_EQ(cfg.num_cores(), 256U);
+  EXPECT_EQ(cfg.num_tiles(), 64U);
+  EXPECT_EQ(cfg.num_banks(), 1024U);
+  EXPECT_EQ(cfg.bank_bytes(), KiB(1));
+  EXPECT_EQ(cfg.bank_words(), 256U);
+}
+
+TEST(ClusterConfig, PaperCapacitySweep) {
+  // The paper's four configurations: 1/2/4/8 MiB -> 1/2/4/8 KiB banks.
+  for (const u64 mib : {1, 2, 4, 8}) {
+    const ClusterConfig cfg = ClusterConfig::mempool(MiB(mib));
+    EXPECT_EQ(cfg.bank_bytes(), KiB(mib));
+  }
+}
+
+TEST(ClusterConfig, MiniAndTinyValid) {
+  EXPECT_NO_THROW(ClusterConfig::mini().validate());
+  EXPECT_NO_THROW(ClusterConfig::tiny().validate());
+  EXPECT_EQ(ClusterConfig::mini().num_cores(), 16U);
+  EXPECT_EQ(ClusterConfig::tiny().num_cores(), 4U);
+}
+
+TEST(ClusterConfig, RejectsBadTopology) {
+  ClusterConfig cfg = ClusterConfig::mempool();
+  cfg.num_groups = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.tiles_per_group = 12;  // not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.banks_per_tile = 2;  // fewer banks than cores
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsBadMemoryShape) {
+  ClusterConfig cfg = ClusterConfig::mempool();
+  cfg.spm_capacity = MiB(1) + 4;  // does not split evenly into 1024 banks
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.seq_bytes_per_tile = MiB(1);  // seq region would eat everything
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsBadTiming) {
+  ClusterConfig cfg = ClusterConfig::mempool();
+  cfg.mul_latency = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.local_net_pipe = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.lsu_max_outstanding = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, ToStringMentionsShape) {
+  const std::string s = ClusterConfig::mempool(MiB(4)).to_string();
+  EXPECT_NE(s.find("256 cores"), std::string::npos);
+  EXPECT_NE(s.find("4096 KiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp3d::arch

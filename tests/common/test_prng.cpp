@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mp3d {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17U);
+  }
+}
+
+TEST(Prng, BelowCoversRange) {
+  Prng rng(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.below(8));
+  }
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace mp3d

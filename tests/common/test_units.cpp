@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d {
+namespace {
+
+TEST(Units, ByteCapacities) {
+  EXPECT_EQ(KiB(1), 1024U);
+  EXPECT_EQ(KiB(2), 2048U);
+  EXPECT_EQ(MiB(1), 1048576U);
+  EXPECT_EQ(MiB(8), 8U * 1024 * 1024);
+}
+
+TEST(Units, GateEquivalents) {
+  EXPECT_DOUBLE_EQ(kGE(60), 60e3);
+  EXPECT_DOUBLE_EQ(kGE(0.5), 500.0);
+}
+
+TEST(Units, GeometryConversions) {
+  EXPECT_DOUBLE_EQ(um2_to_mm2(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(um_to_mm(1000.0), 1.0);
+}
+
+TEST(Units, PowerOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Units, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0U);
+  EXPECT_EQ(log2_exact(2), 1U);
+  EXPECT_EQ(log2_exact(1024), 10U);
+}
+
+TEST(Units, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4U);
+  EXPECT_EQ(ceil_div(9, 3), 3U);
+  EXPECT_EQ(round_up(10, 8), 16U);
+  EXPECT_EQ(round_up(16, 8), 16U);
+  EXPECT_EQ(round_up(0, 8), 0U);
+}
+
+}  // namespace
+}  // namespace mp3d

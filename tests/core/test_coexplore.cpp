@@ -1,0 +1,90 @@
+// SPDX-License-Identifier: Apache-2.0
+// Co-exploration (Figures 7/8/9): the paper's qualitative claims must hold.
+#include <gtest/gtest.h>
+
+#include "core/coexplore.hpp"
+
+namespace mp3d::core {
+namespace {
+
+class CoExploreTest : public ::testing::Test {
+ protected:
+  CoExplorer explorer_;
+};
+
+TEST_F(CoExploreTest, EightOperatingPoints) {
+  EXPECT_EQ(explorer_.points().size(), 8U);
+  EXPECT_EQ(explorer_.baseline().impl.config.flow, phys::Flow::k2D);
+  EXPECT_EQ(explorer_.baseline().impl.config.spm_capacity, MiB(1));
+}
+
+TEST_F(CoExploreTest, ThreeDOutperformsTwoDAtEveryCapacity) {
+  for (const u64 mib : {1, 2, 4, 8}) {
+    EXPECT_GT(explorer_.gain_3d_over_2d_perf(MiB(mib)), 0.0) << mib;
+    EXPECT_GT(explorer_.gain_3d_over_2d_eff(MiB(mib)), 0.0) << mib;
+    EXPECT_LT(explorer_.var_3d_over_2d_edp(MiB(mib)), 0.0) << mib;
+  }
+}
+
+TEST_F(CoExploreTest, ThreeDPerformanceRisesWithCapacity) {
+  // Paper: "the MemPool-3D designs achieve consistently higher
+  // performances with increasing SPM capacity".
+  double prev = -1e9;
+  for (const u64 mib : {1, 2, 4, 8}) {
+    const double gain =
+        explorer_.performance_gain(explorer_.at(phys::Flow::k3D, MiB(mib)));
+    EXPECT_GT(gain, prev) << mib;
+    prev = gain;
+  }
+  EXPECT_GT(prev, 0.05);  // 8 MiB headline (paper +8.4 %)
+  EXPECT_LT(prev, 0.15);
+}
+
+TEST_F(CoExploreTest, EfficiencyOptimumIsThreeDOneMiB) {
+  const auto& best = explorer_.at(phys::Flow::k3D, MiB(1));
+  for (const auto& p : explorer_.points()) {
+    EXPECT_LE(p.efficiency, best.efficiency * 1.0 + 1e-12);
+  }
+  EXPECT_LT(explorer_.at(phys::Flow::k3D, MiB(1)).edp,
+            explorer_.baseline().edp);  // also the EDP optimum
+}
+
+TEST_F(CoExploreTest, TwoDEightMiBIsWorstEfficiency) {
+  const auto& worst = explorer_.at(phys::Flow::k2D, MiB(8));
+  for (const auto& p : explorer_.points()) {
+    EXPECT_GE(p.efficiency, worst.efficiency - 1e-12);
+  }
+  // Paper: 21 % below the baseline; allow model slack.
+  EXPECT_LT(explorer_.efficiency_gain(worst), -0.10);
+}
+
+TEST_F(CoExploreTest, GainsWithinModelToleranceOfPaper) {
+  for (const auto& ref : phys::paper::figures789()) {
+    EXPECT_NEAR(explorer_.gain_3d_over_2d_perf(ref.capacity),
+                ref.perf_gain_3d_over_2d, 0.08)
+        << ref.capacity;
+    EXPECT_NEAR(explorer_.gain_3d_over_2d_eff(ref.capacity), ref.eff_gain_3d_over_2d,
+                0.08)
+        << ref.capacity;
+    EXPECT_NEAR(explorer_.var_3d_over_2d_edp(ref.capacity), ref.edp_var_3d_over_2d,
+                0.08)
+        << ref.capacity;
+  }
+}
+
+TEST_F(CoExploreTest, BandwidthChangesCrossover) {
+  // At very high off-chip bandwidth the capacity advantage shrinks.
+  CoExploreOptions wide;
+  wide.bw_bytes_per_cycle = 64;
+  CoExplorer fast(wide);
+  const double gain_fast =
+      fast.at(phys::Flow::k3D, MiB(8)).performance /
+      fast.at(phys::Flow::k3D, MiB(1)).performance;
+  const double gain_slow =
+      explorer_.at(phys::Flow::k3D, MiB(8)).performance /
+      explorer_.at(phys::Flow::k3D, MiB(1)).performance;
+  EXPECT_LT(gain_fast, gain_slow);
+}
+
+}  // namespace
+}  // namespace mp3d::core

@@ -1,0 +1,56 @@
+// SPDX-License-Identifier: Apache-2.0
+// End-to-end integration: full pipeline from assembly source through the
+// simulator, calibration, cycle model and physical flows.
+#include <gtest/gtest.h>
+
+#include "core/mempool3d.hpp"
+
+namespace mp3d {
+namespace {
+
+TEST(EndToEnd, SimulatorFeedsModelFeedsCoExploration) {
+  // 1. Measure a calibration live on the mini cluster.
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  model::CalibrationOptions opt;
+  const model::MatmulCalibration cal = model::calibrate_matmul(cfg, 32, opt);
+  // 2. Evaluate the model with it at a scaled workload.
+  model::MatmulWorkload w;
+  w.m = 3200;
+  w.t = 32;
+  w.cores = cfg.num_cores();
+  w.bw_bytes_per_cycle = 16;
+  const model::CycleBreakdown cycles = model::matmul_cycles(w, cal);
+  EXPECT_GT(cycles.total(), 0.0);
+  // 3. The model must agree with a *real* full run at small scale within a
+  // reasonable envelope (the model ignores second-order overlap effects).
+  kernels::MatmulParams p;
+  p.m = 128;
+  p.t = 32;
+  arch::Cluster cluster(cfg);
+  const kernels::Kernel k = kernels::build_matmul(cfg, p);
+  const arch::RunResult r = kernels::run_kernel(cluster, k, 100'000'000, true);
+  model::MatmulWorkload w2 = w;
+  w2.m = 128;
+  const double predicted = model::matmul_cycles(w2, cal).total();
+  EXPECT_NEAR(predicted / static_cast<double>(r.cycles), 1.0, 0.30);
+}
+
+TEST(EndToEnd, FullPaperPipelineRuns) {
+  core::CoExplorer explorer;
+  const auto& p3d8 = explorer.at(phys::Flow::k3D, MiB(8));
+  const auto& p2d1 = explorer.baseline();
+  EXPECT_GT(p3d8.performance, p2d1.performance);
+  EXPECT_LT(p3d8.impl.group.footprint_mm2, p2d1.impl.group.footprint_mm2);
+}
+
+TEST(EndToEnd, KernelsRunOnTinyCluster) {
+  const arch::ClusterConfig cfg = arch::ClusterConfig::tiny();
+  arch::Cluster cluster(cfg);
+  EXPECT_NO_THROW(
+      kernels::run_kernel(cluster, kernels::build_memcpy(cfg, 256), 5'000'000));
+  EXPECT_NO_THROW(
+      kernels::run_kernel(cluster, kernels::build_dotp(cfg, 256), 5'000'000));
+}
+
+}  // namespace
+}  // namespace mp3d

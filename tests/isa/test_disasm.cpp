@@ -1,0 +1,89 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "isa/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace mp3d::isa {
+namespace {
+
+TEST(Disasm, RendersCommonForms) {
+  Instr add;
+  add.op = Op::kAdd;
+  add.rd = 10;
+  add.rs1 = 11;
+  add.rs2 = 12;
+  EXPECT_EQ(disassemble(add), "add a0, a1, a2");
+
+  Instr lw;
+  lw.op = Op::kLw;
+  lw.rd = 5;
+  lw.rs1 = 2;
+  lw.imm = -4;
+  EXPECT_EQ(disassemble(lw), "lw t0, -4(sp)");
+
+  Instr sw;
+  sw.op = Op::kSw;
+  sw.rs1 = 2;
+  sw.rs2 = 10;
+  sw.imm = 8;
+  EXPECT_EQ(disassemble(sw), "sw a0, 8(sp)");
+}
+
+TEST(Disasm, BranchTargetsAbsoluteWithPc) {
+  Instr beq;
+  beq.op = Op::kBeq;
+  beq.rs1 = 1;
+  beq.rs2 = 2;
+  beq.imm = -8;
+  EXPECT_EQ(disassemble(beq, 0x100), "beq ra, sp, 0xf8");
+}
+
+TEST(Disasm, PostIncrementForms) {
+  Instr plw;
+  plw.op = Op::kPLwPost;
+  plw.rd = 10;
+  plw.rs1 = 11;
+  plw.imm = 4;
+  EXPECT_EQ(disassemble(plw), "p.lw a0, 4(a1!)");
+
+  Instr psw;
+  psw.op = Op::kPSwPost;
+  psw.rs1 = 11;
+  psw.rs2 = 12;
+  psw.imm = -4;
+  EXPECT_EQ(disassemble(psw), "p.sw a2, -4(a1!)");
+}
+
+TEST(Disasm, InvalidWord) { EXPECT_EQ(disassemble_word(0), "<invalid>"); }
+
+// Property: every word the assembler emits disassembles to a non-empty,
+// valid rendering.
+TEST(Disasm, AllAssembledWordsRender) {
+  AsmOptions opt;
+  const Program p = assemble(R"(
+    add a0, a1, a2
+    addi a0, a0, 1
+    lw a1, 0(a0)
+    sw a1, 4(a0)
+    p.mac a2, a3, a4
+    p.lw a5, 4(a6!)
+    amoadd.w a0, a1, (a2)
+    lr.w a3, (a2)
+    sc.w a4, a5, (a2)
+    csrr t0, mhartid
+    wfi
+    ecall
+  )",
+                             opt);
+  for (const u32 w : p.segments()[0].words) {
+    const std::string s = disassemble_word(w);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.find("<invalid>"), std::string::npos) << s;
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::isa

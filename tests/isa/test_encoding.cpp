@@ -1,0 +1,225 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::isa {
+namespace {
+
+TEST(Encoding, DecodeKnownWords) {
+  // addi x1, x0, 5
+  Instr in = decode(0x00500093);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 1);
+  EXPECT_EQ(in.rs1, 0);
+  EXPECT_EQ(in.imm, 5);
+
+  // add x3, x1, x2
+  in = decode(0x002081B3);
+  EXPECT_EQ(in.op, Op::kAdd);
+  EXPECT_EQ(in.rd, 3);
+  EXPECT_EQ(in.rs1, 1);
+  EXPECT_EQ(in.rs2, 2);
+
+  // lw x5, -4(x2)
+  in = decode(0xFFC12283);
+  EXPECT_EQ(in.op, Op::kLw);
+  EXPECT_EQ(in.rd, 5);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, -4);
+
+  // ecall / ebreak / wfi
+  EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+  EXPECT_EQ(decode(0x10500073).op, Op::kWfi);
+}
+
+TEST(Encoding, DecodeNegativeBranchOffset) {
+  // beq x1, x2, -8  => imm13 = -8
+  Instr in;
+  in.op = Op::kBeq;
+  in.rs1 = 1;
+  in.rs2 = 2;
+  in.imm = -8;
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, Op::kBeq);
+  EXPECT_EQ(out.imm, -8);
+}
+
+TEST(Encoding, InvalidWordsDecodeInvalid) {
+  EXPECT_EQ(decode(0x00000000).op, Op::kInvalid);
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kInvalid);
+  // FADD.S (F extension, unsupported)
+  EXPECT_EQ(decode(0x003100D3 | 0x00000040).op, Op::kInvalid);
+}
+
+// Round-trip property: encode(decode(w)) == w for every op at several
+// operand values.
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  const Op op = static_cast<Op>(GetParam());
+  for (const u8 rd : {u8{0}, u8{1}, u8{15}, u8{31}}) {
+    for (const u8 rs1 : {u8{0}, u8{7}, u8{31}}) {
+      for (const u8 rs2 : {u8{0}, u8{12}, u8{31}}) {
+        for (const i32 imm : {0, 4, -4, 2044, -2048}) {
+          Instr in;
+          in.op = op;
+          in.imm = imm;
+          switch (op) {
+            case Op::kLui:
+            case Op::kAuipc:
+              in.rd = rd;
+              in.imm = imm << 12;
+              break;
+            case Op::kJal:
+              in.rd = rd;
+              break;
+            case Op::kBeq:
+            case Op::kBne:
+            case Op::kBlt:
+            case Op::kBge:
+            case Op::kBltu:
+            case Op::kBgeu:
+              in.rs1 = rs1;
+              in.rs2 = rs2;
+              break;
+            case Op::kSb:
+            case Op::kSh:
+            case Op::kSw:
+            case Op::kPSwPost:
+              in.rs1 = rs1;
+              in.rs2 = rs2;
+              break;
+            case Op::kSlli:
+            case Op::kSrli:
+            case Op::kSrai:
+              in.rd = rd;
+              in.rs1 = rs1;
+              in.imm = imm & 31;
+              break;
+            case Op::kCsrrw:
+            case Op::kCsrrs:
+            case Op::kCsrrc:
+              in.rd = rd;
+              in.rs1 = rs1;
+              in.imm = 0;
+              in.csr = 0xB00;
+              break;
+            case Op::kCsrrwi:
+            case Op::kCsrrsi:
+            case Op::kCsrrci:
+              in.rd = rd;
+              in.imm = imm & 31;
+              in.csr = 0xF14;
+              break;
+            case Op::kEcall:
+            case Op::kEbreak:
+            case Op::kWfi:
+            case Op::kFence:
+              in.imm = 0;
+              break;
+            case Op::kLrW:
+            case Op::kPAbs:
+              in.rd = rd;
+              in.rs1 = rs1;
+              in.imm = 0;
+              break;
+            case Op::kPLwRPost:
+              in.rd = rd;
+              in.rs1 = rs1;
+              in.rs2 = rs2;
+              in.imm = 0;
+              break;
+            default:
+              if (is_amo(op)) {
+                in.rd = rd;
+                in.rs1 = rs1;
+                in.rs2 = rs2;
+                in.imm = 0;
+              } else if (is_load(op)) {
+                in.rd = rd;
+                in.rs1 = rs1;
+              } else {
+                in.rd = rd;
+                in.rs1 = rs1;
+                in.rs2 = rs2;
+                in.imm = 0;
+              }
+              break;
+          }
+          const u32 word = encode(in);
+          const Instr out = decode(word);
+          ASSERT_EQ(out.op, in.op) << op_name(op) << " word=0x" << std::hex << word;
+          EXPECT_EQ(out.rd, in.rd) << op_name(op);
+          if (reads_rs1(in)) {
+            EXPECT_EQ(out.rs1, in.rs1) << op_name(op);
+          }
+          if (reads_rs2(in)) {
+            EXPECT_EQ(out.rs2, in.rs2) << op_name(op);
+          }
+          EXPECT_EQ(out.imm, in.imm) << op_name(op);
+          EXPECT_EQ(out.csr, in.csr) << op_name(op);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RoundTrip,
+                         ::testing::Range(static_cast<int>(Op::kLui),
+                                          static_cast<int>(Op::kCount)),
+                         [](const auto& info) {
+                           std::string name = op_name(static_cast<Op>(info.param));
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name + "_" + std::to_string(info.param);
+                         });
+
+TEST(Encoding, Classification) {
+  EXPECT_TRUE(is_load(Op::kLw));
+  EXPECT_TRUE(is_load(Op::kPLwPost));
+  EXPECT_FALSE(is_load(Op::kSw));
+  EXPECT_TRUE(is_store(Op::kPSwPost));
+  EXPECT_TRUE(is_amo(Op::kAmoAddW));
+  EXPECT_TRUE(is_amo(Op::kLrW));
+  EXPECT_TRUE(is_mem(Op::kScW));
+  EXPECT_FALSE(is_mem(Op::kAdd));
+  EXPECT_TRUE(is_branch(Op::kBgeu));
+  EXPECT_FALSE(is_branch(Op::kJal));
+  EXPECT_TRUE(is_jump(Op::kJalr));
+}
+
+TEST(Encoding, RegisterDataflowPredicates) {
+  Instr mac;
+  mac.op = Op::kPMac;
+  mac.rd = 5;
+  mac.rs1 = 6;
+  mac.rs2 = 7;
+  EXPECT_TRUE(reads_rd(mac));
+  EXPECT_TRUE(writes_rd(mac));
+
+  Instr lwpost;
+  lwpost.op = Op::kPLwPost;
+  lwpost.rd = 4;
+  lwpost.rs1 = 8;
+  lwpost.imm = 4;
+  EXPECT_TRUE(writes_rs1(lwpost));
+  EXPECT_TRUE(writes_rd(lwpost));
+
+  Instr sw;
+  sw.op = Op::kSw;
+  sw.rd = 9;  // ignored field
+  EXPECT_FALSE(writes_rd(sw));
+
+  Instr branch;
+  branch.op = Op::kBeq;
+  branch.rd = 3;
+  EXPECT_FALSE(writes_rd(branch));
+}
+
+}  // namespace
+}  // namespace mp3d::isa

@@ -1,0 +1,95 @@
+// SPDX-License-Identifier: Apache-2.0
+// Property/fuzz tests over the binary encoding layer.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace mp3d::isa {
+namespace {
+
+// Property: for every 32-bit word, decoding never crashes, and if the word
+// decodes to a valid instruction, re-encoding the decoded form and
+// decoding again is a fixed point (decode-encode-decode stability).
+TEST(EncodingFuzz, DecodeEncodeDecodeFixedPoint) {
+  Prng rng(0xF00D);
+  int valid = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const u32 word = rng.next_u32();
+    const Instr a = decode(word);
+    if (!a.valid()) {
+      continue;
+    }
+    ++valid;
+    const u32 reencoded = encode(a);
+    const Instr b = decode(reencoded);
+    ASSERT_EQ(b.op, a.op) << std::hex << word;
+    ASSERT_EQ(b.rd, a.rd) << std::hex << word;
+    ASSERT_EQ(b.imm, a.imm) << std::hex << word;
+    ASSERT_EQ(b.csr, a.csr) << std::hex << word;
+    if (reads_rs1(a)) {
+      ASSERT_EQ(b.rs1, a.rs1) << std::hex << word;
+    }
+    if (reads_rs2(a) || writes_rs1(a)) {
+      ASSERT_EQ(b.rs2, a.rs2) << std::hex << word;
+    }
+  }
+  // Random words should hit valid encodings reasonably often (opcode
+  // space is dense around OP/OP-IMM/LOAD/STORE).
+  EXPECT_GT(valid, 1000);
+}
+
+// Property: disassembly never crashes or returns an empty string on any
+// decodable word.
+TEST(EncodingFuzz, DisassemblyTotalOnValidWords) {
+  Prng rng(0xBEEF);
+  for (int i = 0; i < 50000; ++i) {
+    const u32 word = rng.next_u32();
+    const Instr in = decode(word);
+    if (in.valid()) {
+      EXPECT_FALSE(disassemble(in, 0x1000).empty());
+    }
+  }
+}
+
+// Property: branch/jump immediates survive the full encode range.
+TEST(EncodingFuzz, BranchImmediateRange) {
+  Prng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    Instr in;
+    in.op = Op::kBeq;
+    in.rs1 = static_cast<u8>(rng.below(32));
+    in.rs2 = static_cast<u8>(rng.below(32));
+    in.imm = static_cast<i32>(rng.range(-2048, 2047)) * 2;  // even, 13-bit
+    const Instr out = decode(encode(in));
+    ASSERT_EQ(out.imm, in.imm);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    Instr in;
+    in.op = Op::kJal;
+    in.rd = static_cast<u8>(rng.below(32));
+    in.imm = static_cast<i32>(rng.range(-(1 << 19), (1 << 19) - 1)) * 2;
+    const Instr out = decode(encode(in));
+    ASSERT_EQ(out.imm, in.imm);
+  }
+}
+
+// Property: store immediates (split encoding) survive the full range.
+TEST(EncodingFuzz, StoreImmediateRange) {
+  Prng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    Instr in;
+    in.op = Op::kSw;
+    in.rs1 = static_cast<u8>(rng.below(32));
+    in.rs2 = static_cast<u8>(rng.below(32));
+    in.imm = static_cast<i32>(rng.range(-2048, 2047));
+    const Instr out = decode(encode(in));
+    ASSERT_EQ(out.imm, in.imm);
+    ASSERT_EQ(out.rs1, in.rs1);
+    ASSERT_EQ(out.rs2, in.rs2);
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::isa

@@ -1,0 +1,42 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::isa {
+namespace {
+
+TEST(Program, SegmentsAndSymbols) {
+  Program p;
+  p.add_segment(Segment{0x1000, {1, 2, 3}});
+  p.define_symbol("foo", 0x1004);
+  EXPECT_EQ(p.segments().size(), 1U);
+  EXPECT_EQ(p.symbol("foo").value(), 0x1004U);
+  EXPECT_FALSE(p.symbol("bar").has_value());
+  EXPECT_THROW(p.symbol_or_throw("bar"), std::out_of_range);
+  EXPECT_EQ(p.total_bytes(), 12U);
+}
+
+TEST(Program, ReadWord) {
+  Program p;
+  p.add_segment(Segment{0x1000, {0xAA, 0xBB}});
+  p.add_segment(Segment{0x2000, {0xCC}});
+  EXPECT_EQ(p.read_word(0x1000).value(), 0xAAU);
+  EXPECT_EQ(p.read_word(0x1004).value(), 0xBBU);
+  EXPECT_EQ(p.read_word(0x2000).value(), 0xCCU);
+  EXPECT_FALSE(p.read_word(0x1008).has_value());
+  EXPECT_FALSE(p.read_word(0x0).has_value());
+}
+
+TEST(Program, SegmentEnd) {
+  Segment s{0x100, {1, 2, 3, 4}};
+  EXPECT_EQ(s.end(), 0x110U);
+}
+
+TEST(Program, RejectsMisalignedSegment) {
+  Program p;
+  EXPECT_THROW(p.add_segment(Segment{0x1002, {1}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp3d::isa

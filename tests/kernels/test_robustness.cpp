@@ -1,0 +1,148 @@
+// SPDX-License-Identifier: Apache-2.0
+// Failure injection and robustness: bad programs must fail loudly and
+// diagnosably, never hang the host or corrupt unrelated state.
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.hpp"
+#include "kernels/runtime.hpp"
+#include "kernels/simple_kernels.hpp"
+#include "testing.hpp"
+
+namespace mp3d::kernels {
+namespace {
+
+using mp3d::testing::ctrl_prelude;
+using mp3d::testing::run_asm;
+
+TEST(Robustness, MisalignedWordAccessAsserts) {
+  // The Snitch cores and banks require natural alignment; a misaligned lw
+  // is a programming error the simulator refuses to paper over.
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const std::string src = ctrl_prelude(cluster.config()) + R"(
+.text 0x80000000
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 0x2002
+    lw a0, 0(t1)         # misaligned
+park:
+    wfi
+    j park
+)";
+  EXPECT_DEATH(run_asm(cluster, src), "");
+}
+
+TEST(Robustness, SpmOverflowRejectedAtBuildTime) {
+  const arch::ClusterConfig cfg = arch::ClusterConfig::tiny();  // 16 KiB SPM
+  MatmulParams p;
+  p.m = 64;
+  p.t = 64;  // 3 * 64^2 * 4 = 48 KiB > SPM
+  EXPECT_THROW(build_matmul(cfg, p), std::invalid_argument);
+}
+
+TEST(Robustness, GmemOverflowRejectedAtBuildTime) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  cfg.gmem_size = MiB(2);
+  MatmulParams p;
+  p.m = 1024;  // 3 * 4 MiB matrices exceed the 2 MiB window
+  p.t = 32;
+  EXPECT_THROW(build_matmul(cfg, p), std::invalid_argument);
+}
+
+TEST(Robustness, RuntimeErrorNamesTheFaultingCore) {
+  // A kernel whose core 2 dereferences an unmapped address: run_kernel
+  // must throw and identify the core.
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  Kernel k = build_memcpy(cluster.config(), 256);
+  const std::string src = ctrl_prelude(cluster.config()) + R"(
+.text 0x80000000
+    csrr t0, mhartid
+    li t1, 2
+    bne t0, t1, park
+    li t2, 0x70000000
+    lw a0, 0(t2)         # unmapped -> core 2 faults
+park:
+    wfi
+    j park
+)";
+  isa::AsmOptions opt;
+  opt.default_base = cluster.config().gmem_base;
+  k.program = isa::assemble(src, opt);
+  k.verify = nullptr;
+  try {
+    run_kernel(cluster, k, 200'000);
+    FAIL() << "expected failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("core 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Robustness, StackSlicesAreDisjointAcrossCores) {
+  // Each core fills its stack slice with a signature via sp-relative
+  // stores; no core may observe another's signature.
+  arch::Cluster cluster(arch::ClusterConfig::mini());
+  const std::string src = ctrl_prelude(cluster.config()) + R"(
+.equ DONE, 0x4080
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    addi t1, t0, 0x55    # signature
+    addi sp, sp, -64
+    sw t1, 0(sp)
+    sw t1, 60(sp)
+    fence
+    li t2, DONE
+    li t3, 1
+    amoadd.w zero, t3, (t2)
+spin:
+    lw t4, 0(t2)
+    li t5, 16
+    bne t4, t5, spin
+    lw t6, 0(sp)         # re-read own slots
+    bne t6, t1, bad
+    lw t6, 60(sp)
+    bne t6, t1, bad
+    addi sp, sp, 64
+    bnez t0, park
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+bad:
+    li a0, 1
+    li t0, EOC
+    sw a0, 0(t0)
+)";
+  const arch::RunResult r = run_asm(cluster, src, 1'000'000);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_EQ(r.exit_code, 0U);
+}
+
+TEST(Robustness, KernelsAreReentrantOnOneCluster) {
+  // Running two different kernels back-to-back on the same cluster must
+  // not leak state (runtime counters are re-initialized by init hooks).
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  EXPECT_NO_THROW(run_kernel(cluster, build_dotp(cluster.config(), 64), 1'000'000));
+  EXPECT_NO_THROW(run_kernel(cluster, build_axpy(cluster.config(), 128, 5), 1'000'000));
+  EXPECT_NO_THROW(run_kernel(cluster, build_dotp(cluster.config(), 64), 1'000'000));
+}
+
+TEST(Robustness, VerifyHookCatchesCorruption) {
+  // Corrupt one output word after the run: verify must reject.
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const Kernel k = build_memcpy(cluster.config(), 256);
+  cluster.load_program(k.program);
+  k.init(cluster);
+  const arch::RunResult r = cluster.run(1'000'000);
+  ASSERT_TRUE(r.eoc);
+  ASSERT_TRUE(k.verify(cluster, r).empty());
+  // Find the destination (first SPM alloc above the runtime area).
+  const u32 dst = kernels::barrier_counter0_addr(cluster.config()) +
+                  kernels::kRuntimeReservedBytes;
+  cluster.write_word(dst + 64, 0xDEADBEEF);
+  EXPECT_FALSE(k.verify(cluster, r).empty());
+}
+
+}  // namespace
+}  // namespace mp3d::kernels

@@ -1,0 +1,94 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "kernels/simple_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/runtime.hpp"
+
+namespace mp3d::kernels {
+namespace {
+
+TEST(Memcpy, TinyCluster) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const Kernel k = build_memcpy(cluster.config(), 256);
+  const arch::RunResult r = run_kernel(cluster, k, 1'000'000);
+  EXPECT_TRUE(r.eoc);
+}
+
+TEST(Memcpy, MiniCluster) {
+  arch::Cluster cluster(arch::ClusterConfig::mini());
+  const Kernel k = build_memcpy(cluster.config(), 4096);
+  const arch::RunResult r = run_kernel(cluster, k, 2'000'000);
+  EXPECT_TRUE(r.eoc);
+  EXPECT_GE(r.counters.get("gmem.bytes"), 4096U * 4U);
+}
+
+TEST(Memcpy, BandwidthBoundDuration) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  cfg.perfect_icache = true;
+  cfg.gmem_bytes_per_cycle = 4;
+  arch::Cluster cluster(cfg);
+  const u32 n = 4096;
+  const Kernel k = build_memcpy(cfg, n);
+  const arch::RunResult r = run_kernel(cluster, k, 4'000'000);
+  // Lower bound: n words * 4 B at 4 B/cycle = n cycles.
+  EXPECT_GE(r.cycles, n);
+}
+
+TEST(Axpy, VerifiesOnTiny) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const Kernel k = build_axpy(cluster.config(), 128, 7);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 1'000'000));
+}
+
+TEST(Axpy, VerifiesOnMiniWithNegativeA) {
+  arch::Cluster cluster(arch::ClusterConfig::mini());
+  const Kernel k = build_axpy(cluster.config(), 2048, -3);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 2'000'000));
+}
+
+TEST(Axpy, RejectsUnevenN) {
+  EXPECT_THROW(build_axpy(arch::ClusterConfig::tiny(), 130, 1), std::invalid_argument);
+}
+
+TEST(Dotp, VerifiesOnTiny) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const Kernel k = build_dotp(cluster.config(), 64);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 1'000'000));
+}
+
+TEST(Dotp, VerifiesOnMini) {
+  arch::Cluster cluster(arch::ClusterConfig::mini());
+  const Kernel k = build_dotp(cluster.config(), 1024);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 2'000'000));
+}
+
+TEST(Conv2d, VerifiesIdentityKernel) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const std::array<i32, 9> identity = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  const Kernel k = build_conv2d(cluster.config(), 8, 16, identity);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 2'000'000));
+}
+
+TEST(Conv2d, VerifiesBlurKernel) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const std::array<i32, 9> blur = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  const Kernel k = build_conv2d(cluster.config(), 12, 16, blur);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 2'000'000));
+}
+
+TEST(Conv2d, VerifiesOnMiniWithSignedTaps) {
+  arch::Cluster cluster(arch::ClusterConfig::mini());
+  const std::array<i32, 9> edge = {-1, -1, -1, -1, 8, -1, -1, -1, -1};
+  const Kernel k = build_conv2d(cluster.config(), 32, 32, edge);
+  EXPECT_NO_THROW(run_kernel(cluster, k, 4'000'000));
+}
+
+TEST(RunKernel, ThrowsOnCycleLimit) {
+  arch::Cluster cluster(arch::ClusterConfig::tiny());
+  const Kernel k = build_memcpy(cluster.config(), 256);
+  EXPECT_THROW(run_kernel(cluster, k, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mp3d::kernels

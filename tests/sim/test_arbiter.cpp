@@ -1,0 +1,51 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sim/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::sim {
+namespace {
+
+TEST(RoundRobinArbiter, PicksOnlyRequester) {
+  RoundRobinArbiter arb(4);
+  std::vector<bool> req = {false, false, true, false};
+  EXPECT_EQ(arb.pick(req), 2U);
+}
+
+TEST(RoundRobinArbiter, NoRequestReturnsSentinel) {
+  RoundRobinArbiter arb(3);
+  std::vector<bool> req = {false, false, false};
+  EXPECT_EQ(arb.pick(req), 3U);
+}
+
+TEST(RoundRobinArbiter, RotatesFairly) {
+  RoundRobinArbiter arb(3);
+  std::vector<bool> req = {true, true, true};
+  EXPECT_EQ(arb.pick(req), 0U);
+  EXPECT_EQ(arb.pick(req), 1U);
+  EXPECT_EQ(arb.pick(req), 2U);
+  EXPECT_EQ(arb.pick(req), 0U);
+}
+
+TEST(RoundRobinArbiter, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  std::vector<bool> req = {true, false, true, false};
+  EXPECT_EQ(arb.pick(req), 0U);
+  EXPECT_EQ(arb.pick(req), 2U);
+  EXPECT_EQ(arb.pick(req), 0U);
+}
+
+TEST(RoundRobinArbiter, LongRunFairness) {
+  RoundRobinArbiter arb(4);
+  std::vector<bool> req = {true, true, true, true};
+  std::vector<int> grants(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    ++grants[arb.pick(req)];
+  }
+  for (const int g : grants) {
+    EXPECT_EQ(g, 100);
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::sim

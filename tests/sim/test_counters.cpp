@@ -1,0 +1,54 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::sim {
+namespace {
+
+TEST(CounterSet, BumpAndGet) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0U);
+  c.bump("x");
+  c.bump("x", 4);
+  EXPECT_EQ(c.get("x"), 5U);
+  EXPECT_TRUE(c.has("x"));
+  EXPECT_FALSE(c.has("y"));
+}
+
+TEST(CounterSet, SetOverwrites) {
+  CounterSet c;
+  c.bump("x", 10);
+  c.set("x", 3);
+  EXPECT_EQ(c.get("x"), 3U);
+}
+
+TEST(CounterSet, MergeAdds) {
+  CounterSet a;
+  CounterSet b;
+  a.bump("x", 1);
+  b.bump("x", 2);
+  b.bump("y", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3U);
+  EXPECT_EQ(a.get("y"), 7U);
+}
+
+TEST(CounterSet, ResetClears) {
+  CounterSet c;
+  c.bump("x");
+  c.reset();
+  EXPECT_FALSE(c.has("x"));
+}
+
+TEST(CounterSet, ToStringListsAll) {
+  CounterSet c;
+  c.bump("alpha", 1);
+  c.bump("beta", 2);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("alpha = 1"), std::string::npos);
+  EXPECT_NE(s.find("beta = 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp3d::sim

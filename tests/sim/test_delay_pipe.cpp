@@ -1,0 +1,68 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sim/delay_pipe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mp3d::sim {
+namespace {
+
+TEST(DelayPipe, ItemsArriveAfterLatency) {
+  DelayPipe<int> pipe(3);
+  pipe.push(10, 42);
+  EXPECT_FALSE(pipe.ready(10));
+  EXPECT_FALSE(pipe.ready(12));
+  ASSERT_TRUE(pipe.ready(13));
+  EXPECT_EQ(pipe.pop(13), 42);
+  EXPECT_TRUE(pipe.empty());
+}
+
+TEST(DelayPipe, ZeroLatencyImmediatelyReady) {
+  DelayPipe<int> pipe(0);
+  pipe.push(5, 1);
+  EXPECT_TRUE(pipe.ready(5));
+}
+
+TEST(DelayPipe, PreservesFifoOrder) {
+  DelayPipe<int> pipe(2);
+  pipe.push(0, 1);
+  pipe.push(0, 2);
+  pipe.push(1, 3);
+  ASSERT_TRUE(pipe.ready(2));
+  EXPECT_EQ(pipe.pop(2), 1);
+  EXPECT_EQ(pipe.pop(2), 2);
+  EXPECT_FALSE(pipe.ready(2));
+  EXPECT_EQ(pipe.pop(3), 3);
+}
+
+TEST(DelayPipe, SizeTracking) {
+  DelayPipe<int> pipe(1);
+  EXPECT_EQ(pipe.size(), 0U);
+  pipe.push(0, 7);
+  pipe.push(0, 8);
+  EXPECT_EQ(pipe.size(), 2U);
+  pipe.clear();
+  EXPECT_TRUE(pipe.empty());
+}
+
+TEST(BoundedQueue, CapacityEnforced) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, FrontPeek) {
+  BoundedQueue<int> q(4);
+  q.try_push(9);
+  EXPECT_EQ(q.front(), 9);
+  EXPECT_EQ(q.size(), 1U);
+}
+
+}  // namespace
+}  // namespace mp3d::sim

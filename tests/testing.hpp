@@ -1,0 +1,37 @@
+// SPDX-License-Identifier: Apache-2.0
+// Shared test helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "arch/cluster.hpp"
+#include "isa/assembler.hpp"
+
+namespace mp3d::testing {
+
+/// Assemble `source` (default base = gmem base), load and run it.
+inline arch::RunResult run_asm(arch::Cluster& cluster, std::string_view source,
+                               u64 max_cycles = 2'000'000) {
+  isa::AsmOptions options;
+  options.default_base = cluster.config().gmem_base;
+  const isa::Program program = isa::assemble(source, options);
+  cluster.load_program(program);
+  return cluster.run(max_cycles);
+}
+
+/// Common prologue giving named ctrl-register constants to test programs.
+inline std::string ctrl_prelude(const arch::ClusterConfig& cfg) {
+  std::string s;
+  s += ".equ CTRL, " + std::to_string(cfg.ctrl_base) + "\n";
+  s += ".equ EOC, " + std::to_string(cfg.ctrl_base + arch::ctrl::kEoc) + "\n";
+  s += ".equ WAKE_ONE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kWakeOne) + "\n";
+  s += ".equ WAKE_ALL, " + std::to_string(cfg.ctrl_base + arch::ctrl::kWakeAll) + "\n";
+  s += ".equ PUTCHAR, " + std::to_string(cfg.ctrl_base + arch::ctrl::kPutChar) + "\n";
+  s += ".equ CYCLE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kCycle) + "\n";
+  s += ".equ MARKER, " + std::to_string(cfg.ctrl_base + arch::ctrl::kMarker) + "\n";
+  s += ".equ NUM_CORES, " + std::to_string(cfg.ctrl_base + arch::ctrl::kNumCores) + "\n";
+  return s;
+}
+
+}  // namespace mp3d::testing
