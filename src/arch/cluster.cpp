@@ -50,6 +50,8 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
   noc_ = std::make_unique<Interconnect>(cfg_);
   gmem_ = std::make_unique<GlobalMemory>(cfg_.gmem_base, cfg_.gmem_size,
                                          cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency);
+  dma_ = std::make_unique<DmaSubsystem>(cfg_);
+  dma_stage_.resize(cfg_.num_cores());
   const u32 tiles = cfg_.num_tiles();
   banks_.reserve(static_cast<std::size_t>(tiles) * cfg_.banks_per_tile);
   for (u32 b = 0; b < cfg_.num_banks(); ++b) {
@@ -97,6 +99,8 @@ void Cluster::load_program(const isa::Program& program) {
   markers_.clear();
   console_.clear();
   ctrl_queue_.clear();
+  dma_->reset();
+  std::fill(dma_stage_.begin(), dma_stage_.end(), DmaStage{});
   activity_ = 0;
   last_activity_value_ = 0;
   last_activity_cycle_ = 0;
@@ -117,14 +121,23 @@ void Cluster::warm_icaches() {
   }
 }
 
+u32 Cluster::spm_read_word(u32 addr) const {
+  const BankTarget t = map_.spm_target(addr);
+  return banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank]
+      .read_row(t.row);
+}
+
+void Cluster::spm_write_word(u32 addr, u32 value) {
+  const BankTarget t = map_.spm_target(addr);
+  banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank].write_row(
+      t.row, value);
+}
+
 u32 Cluster::read_word(u32 addr) const {
   switch (map_.classify(addr)) {
     case Region::kSpmSeq:
-    case Region::kSpmInterleaved: {
-      const BankTarget t = map_.spm_target(addr);
-      return banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank]
-          .read_row(t.row);
-    }
+    case Region::kSpmInterleaved:
+      return spm_read_word(addr);
     case Region::kGmem:
       return gmem_->read_word(addr);
     default:
@@ -136,12 +149,9 @@ u32 Cluster::read_word(u32 addr) const {
 void Cluster::write_word(u32 addr, u32 value) {
   switch (map_.classify(addr)) {
     case Region::kSpmSeq:
-    case Region::kSpmInterleaved: {
-      const BankTarget t = map_.spm_target(addr);
-      banks_[static_cast<std::size_t>(t.tile) * cfg_.banks_per_tile + t.bank].write_row(
-          t.row, value);
+    case Region::kSpmInterleaved:
+      spm_write_word(addr, value);
       return;
-    }
     case Region::kGmem:
       gmem_->write_word(addr, value);
       return;
@@ -286,6 +296,69 @@ void Cluster::serve_banks() {
   active_banks_.resize(keep);
 }
 
+u32 Cluster::core_group(u16 core) const {
+  return cores_[core]->tile_id() / cfg_.tiles_per_group;
+}
+
+u32 Cluster::dma_read_spm(u32 addr) { return spm_read_word(addr); }
+
+void Cluster::dma_write_spm(u32 addr, u32 value) { spm_write_word(addr, value); }
+
+bool Cluster::dma_start(const MemRequest& request) {
+  const DmaStage& st = dma_stage_[request.core];
+  const auto fail = [&](const std::string& why) {
+    cores_[request.core]->fault("invalid DMA descriptor: " + why);
+    return false;
+  };
+  if (st.len == 0 || st.len % 4 != 0) {
+    return fail("row length must be a positive multiple of 4");
+  }
+  if (st.rows == 0) {
+    return fail("row count must be at least 1");
+  }
+  if (((st.src | st.dst | st.stride) & 3U) != 0) {
+    return fail("addresses and stride must be word aligned");
+  }
+  const Region src_region = map_.classify(st.src);
+  const Region dst_region = map_.classify(st.dst);
+  const bool src_spm =
+      src_region == Region::kSpmSeq || src_region == Region::kSpmInterleaved;
+  const bool dst_spm =
+      dst_region == Region::kSpmSeq || dst_region == Region::kSpmInterleaved;
+  bool to_spm = false;
+  if (src_region == Region::kGmem && dst_spm) {
+    to_spm = true;
+  } else if (src_spm && dst_region == Region::kGmem) {
+    to_spm = false;
+  } else {
+    return fail("exactly one side must be global memory, the other SPM");
+  }
+  const u64 linear_bytes = static_cast<u64>(st.len) * st.rows;
+  const u64 gmem_first = to_spm ? st.src : st.dst;
+  const u64 gmem_last =
+      gmem_first + static_cast<u64>(st.rows - 1) * st.stride + st.len - 4;
+  if (gmem_last > 0xFFFF'FFFFULL ||
+      map_.classify(static_cast<u32>(gmem_last)) != Region::kGmem) {
+    return fail("gmem side walks out of the global memory window");
+  }
+  const u64 spm_first = to_spm ? st.dst : st.src;
+  const u64 spm_last = spm_first + linear_bytes - 4;
+  if (spm_last > 0xFFFF'FFFFULL || !map_.is_spm(static_cast<u32>(spm_last))) {
+    return fail("SPM side runs past the scratchpad");
+  }
+  DmaDescriptor d;
+  d.src = st.src;
+  d.dst = st.dst;
+  d.bytes_per_row = st.len;
+  d.rows = st.rows;
+  d.gmem_stride = st.stride;
+  d.to_spm = to_spm;
+  d.core = request.core;
+  dma_->push(core_group(request.core), d);
+  ++activity_;
+  return true;
+}
+
 void Cluster::ctrl_access(const MemRequest& request) {
   const u32 offset = request.addr - cfg_.ctrl_base;
   MemResponse resp;
@@ -337,6 +410,61 @@ void Cluster::ctrl_access(const MemRequest& request) {
     case ctrl::kNumTiles:
       resp.rdata = cfg_.num_tiles();
       break;
+    case ctrl::kDmaSrc:
+      if (is_write) {
+        dma_stage_[request.core].src = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].src;
+      }
+      break;
+    case ctrl::kDmaDst:
+      if (is_write) {
+        dma_stage_[request.core].dst = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].dst;
+      }
+      break;
+    case ctrl::kDmaLen:
+      if (is_write) {
+        dma_stage_[request.core].len = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].len;
+      }
+      break;
+    case ctrl::kDmaStride:
+      if (is_write) {
+        dma_stage_[request.core].stride = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].stride;
+      }
+      break;
+    case ctrl::kDmaRows:
+      if (is_write) {
+        dma_stage_[request.core].rows = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].rows;
+      }
+      break;
+    case ctrl::kDmaStart:
+      // Reading the start register is always a programming error; catch it
+      // loudly rather than returning a meaningless 0.
+      if (!is_write) {
+        cores_[request.core]->fault("read from the write-only DMA start register");
+        return;
+      }
+      if (!dma_start(request)) {
+        return;  // faulted: no response will arrive
+      }
+      break;
+    case ctrl::kDmaStatus:
+      // A write here is almost certainly a mistyped kDmaStart; silently
+      // accepting it would skip the transfer and compute on stale data.
+      if (is_write) {
+        cores_[request.core]->fault("write to the read-only DMA status register");
+        return;
+      }
+      resp.rdata = dma_->pending(core_group(request.core));
+      break;
     default:
       cores_[request.core]->fault("access to undefined ctrl register offset " +
                                   std::to_string(offset));
@@ -346,10 +474,40 @@ void Cluster::ctrl_access(const MemRequest& request) {
 }
 
 void Cluster::serve_ctrl() {
+  // A start write back-pressures while every DMA engine of the writer's
+  // group is full. Only the issuing core's later ctrl accesses are held
+  // behind it (program order); other cores' requests are served past the
+  // blocked entry so one saturated group cannot stall the whole cluster.
+  // The hold bookkeeping is set up lazily: the common case (status polls,
+  // markers, barrier wake-ups) stays a plain FIFO drain.
+  bool holding = false;
   while (!ctrl_queue_.empty() && ctrl_queue_.front().ready_at <= cycle_) {
     const MemRequest req = ctrl_queue_.front();
     ctrl_queue_.pop_front();
+    if (holding && ctrl_blocked_[req.core]) {
+      ctrl_held_.push_back(req);
+      continue;
+    }
+    if (req.addr - cfg_.ctrl_base == ctrl::kDmaStart && isa::is_store(req.op) &&
+        !dma_->can_accept(core_group(req.core))) {
+      if (!holding) {
+        holding = true;
+        ctrl_blocked_.assign(cfg_.num_cores(), 0);
+        ctrl_held_.clear();
+        dma_->note_queue_full_stall();  // at most once per cycle
+      }
+      ctrl_blocked_[req.core] = 1;
+      ctrl_held_.push_back(req);
+      continue;
+    }
     ctrl_access(req);
+  }
+  if (holding) {
+    // Re-queue held entries ahead of the not-yet-ready tail, order preserved.
+    for (auto it = ctrl_held_.rbegin(); it != ctrl_held_.rend(); ++it) {
+      ctrl_queue_.push_front(*it);
+    }
+    ctrl_held_.clear();
   }
 }
 
@@ -369,6 +527,11 @@ void Cluster::step() {
   for (const MemResponse& resp : gmem_responses_) {
     deliver_response_to_core(resp);
   }
+
+  // 1b. DMA engines: bulk transfers claim the byte budget the cycle's
+  // scalar and refill traffic left over, moving words straight into the
+  // SPM banks through the engines' dedicated wide port.
+  activity_ += dma_->step(cycle_, *gmem_, *this);
 
   // 2. Request network.
   noc_->step_requests(cycle_, [this](u32 dst_tile, BankRequest&& breq) {
@@ -446,6 +609,7 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
   }
   noc_->add_counters(result.counters);
   gmem_->add_counters(result.counters);
+  dma_->add_counters(result.counters);
   result.counters.set("cycles", cycle_);
   return result;
 }

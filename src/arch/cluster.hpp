@@ -1,15 +1,21 @@
 // SPDX-License-Identifier: Apache-2.0
 // The MemPool cluster: cores, SPM banks, instruction caches, hierarchical
-// interconnect, control peripherals and bandwidth-limited global memory,
-// advanced together in a fixed per-cycle phase order:
+// interconnect, control peripherals, per-group DMA engines and
+// bandwidth-limited global memory, advanced together in a fixed per-cycle
+// phase order:
 //
-//   global memory -> request network -> banks/ctrl -> response network -> cores
+//   global memory -> DMA engines -> request network -> banks/ctrl
+//     -> response network -> cores
+//
+// The DMA engines run directly after global memory so bulk transfers claim
+// whatever byte budget the cycle's scalar traffic left over.
 //
 // This ordering yields the paper's zero-load latencies exactly: a local SPM
 // access issued in cycle n writes back in n+1 (1 cycle), a same-group
 // access in n+3, a remote-group access in n+5.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +25,7 @@
 #include "arch/bank.hpp"
 #include "arch/core.hpp"
 #include "arch/decoded_image.hpp"
+#include "arch/dma.hpp"
 #include "arch/global_mem.hpp"
 #include "arch/icache.hpp"
 #include "arch/interconnect.hpp"
@@ -40,6 +47,17 @@ inline constexpr u32 kNumCores = 0x18;   ///< R
 inline constexpr u32 kCoresPerTile = 0x1C;  ///< R
 inline constexpr u32 kNumTiles = 0x20;   ///< R
 inline constexpr u32 kBarrierBase = 0x24;  ///< R: reserved SPM addr for barriers
+// DMA frontend: per-core staging registers; a kDmaStart write validates the
+// staged descriptor and hands it to one of the writer's group DMA engines
+// (blocking the ctrl frontend while every engine queue of the group is
+// full). kDmaStatus reads the group's outstanding-descriptor count.
+inline constexpr u32 kDmaSrc = 0x28;     ///< RW: source byte address
+inline constexpr u32 kDmaDst = 0x2C;     ///< RW: destination byte address
+inline constexpr u32 kDmaLen = 0x30;     ///< RW: bytes per row (multiple of 4)
+inline constexpr u32 kDmaStride = 0x34;  ///< RW: gmem-side row stride in bytes
+inline constexpr u32 kDmaRows = 0x38;    ///< RW: row count (1 = 1D transfer)
+inline constexpr u32 kDmaStart = 0x3C;   ///< W: launch the staged descriptor
+inline constexpr u32 kDmaStatus = 0x40;  ///< R: outstanding descriptors (group)
 }  // namespace ctrl
 
 struct RunResult {
@@ -70,7 +88,7 @@ struct RunResult {
   bool ok() const { return eoc && !deadlock && exit_code == 0; }
 };
 
-class Cluster : public MemIssueSink {
+class Cluster : public MemIssueSink, public DmaSpmPort {
  public:
   explicit Cluster(ClusterConfig cfg);
   ~Cluster() override;
@@ -105,6 +123,7 @@ class Cluster : public MemIssueSink {
   TileICache& icache(u32 tile) { return *icaches_[tile]; }
   GlobalMemory& gmem() { return *gmem_; }
   Interconnect& interconnect() { return *noc_; }
+  DmaSubsystem& dma() { return *dma_; }
 
   /// Pre-warm all instruction caches with every code segment (the paper
   /// measures compute phases with a hot I$).
@@ -114,10 +133,20 @@ class Cluster : public MemIssueSink {
   IssueResult issue_mem(const MemRequest& request) override;
   void request_icache_refill(u32 tile, u32 pc) override;
 
+  // ---- DmaSpmPort (dedicated wide SPM port of the DMA engines) --------------
+  u32 dma_read_spm(u32 addr) override;
+  void dma_write_spm(u32 addr, u32 value) override;
+
  private:
   void serve_banks();
   void serve_ctrl();
   void ctrl_access(const MemRequest& request);
+  u32 core_group(u16 core) const;
+  /// Validate and launch the staged descriptor; false = core was faulted.
+  bool dma_start(const MemRequest& request);
+  // Functional word access to the SPM banks (host backdoor + DMA port).
+  u32 spm_read_word(u32 addr) const;
+  void spm_write_word(u32 addr, u32 value);
   void deliver_response_to_core(const MemResponse& response);
   void deliver_remote_request(u32 dst_tile, BankRequest&& request);
   void activate_bank(u32 global_bank);
@@ -134,7 +163,18 @@ class Cluster : public MemIssueSink {
   std::vector<std::unique_ptr<TileICache>> icaches_;
   std::unique_ptr<Interconnect> noc_;
   std::unique_ptr<GlobalMemory> gmem_;
+  std::unique_ptr<DmaSubsystem> dma_;
   std::unique_ptr<DecodedImage> image_;
+
+  /// Per-core DMA staging registers (the ctrl frontend's programming model).
+  struct DmaStage {
+    u32 src = 0;
+    u32 dst = 0;
+    u32 len = 0;
+    u32 stride = 0;
+    u32 rows = 1;
+  };
+  std::vector<DmaStage> dma_stage_;
 
   // Bank scheduling: only banks with queued work are visited.
   std::vector<u32> active_banks_;
@@ -142,6 +182,9 @@ class Cluster : public MemIssueSink {
 
   // Control peripheral state.
   std::deque<MemRequest> ctrl_queue_;
+  // Blocked-DMA-start bookkeeping (populated only while a start is held).
+  std::vector<u8> ctrl_blocked_;  ///< per-core "held behind a blocked DMA start"
+  std::vector<MemRequest> ctrl_held_;  ///< reused hold buffer
   bool eoc_ = false;
   u32 eoc_code_ = 0;
   std::vector<RunResult::Marker> markers_;

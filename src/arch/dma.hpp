@@ -1,0 +1,144 @@
+// SPDX-License-Identifier: Apache-2.0
+// Per-group DMA engines: the bulk-transfer path between the bandwidth-
+// limited global memory and the shared-L1 SPM (MemPool's follow-up
+// architecture paper adds exactly this per group).
+//
+// A descriptor names a 1D or 2D (strided) transfer where exactly one side
+// is global memory and the other side is SPM. The gmem side walks `rows`
+// rows of `bytes_per_row` bytes separated by `gmem_stride`; the SPM side
+// is filled (or drained) contiguously — the natural layout for staging a
+// matrix tile in the interleaved region.
+//
+// Timing model: every cycle each engine claims bytes for its active
+// descriptor from the GlobalMemory byte budget *left over after scalar and
+// icache-refill traffic* (scalar requests are latency-critical and win the
+// arbitration), capped by the engine's own SPM-side port width. Whole
+// words move functionally once enough channel bytes are claimed; the
+// descriptor completes `gmem latency` cycles after its last byte is
+// granted — mirroring the scalar path's latency model, so a transfer of N
+// bytes on an otherwise idle channel of B bytes/cycle with port width P
+// finishes in ceil(N / min(B, P)) + latency cycles.
+//
+// Ordering: the engines access gmem/SPM storage functionally, so they are
+// NOT ordered against scalar accesses still queued in the memory system.
+// As on real hardware, software must fence before launching a descriptor
+// that reads data written by scalar stores (a posted gmem store only
+// commits when its response returns, which is exactly what `fence` waits
+// for); the runtime's barrier fences, covering the cross-core case.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "sim/counters.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::arch {
+
+class GlobalMemory;
+
+/// Word-granular functional SPM access, implemented by the Cluster. The
+/// engines own a dedicated wide SPM port, so data moves directly into the
+/// interleaved banks without traversing the core-side interconnect.
+class DmaSpmPort {
+ public:
+  virtual ~DmaSpmPort() = default;
+  virtual u32 dma_read_spm(u32 addr) = 0;
+  virtual void dma_write_spm(u32 addr, u32 value) = 0;
+};
+
+/// A validated bulk-transfer request (built from the ctrl registers).
+struct DmaDescriptor {
+  u32 src = 0;            ///< byte address of the first source word
+  u32 dst = 0;            ///< byte address of the first destination word
+  u32 bytes_per_row = 0;  ///< multiple of 4
+  u32 rows = 1;           ///< 1 = plain 1D transfer
+  u32 gmem_stride = 0;    ///< byte step between row starts on the gmem side
+  bool to_spm = true;     ///< gmem -> SPM (load) or SPM -> gmem (store)
+  u16 core = 0;           ///< issuing core (accounting)
+
+  u64 total_bytes() const { return static_cast<u64>(bytes_per_row) * rows; }
+};
+
+/// One DMA engine: a bounded descriptor queue served in FIFO order.
+class DmaEngine {
+ public:
+  DmaEngine(const DmaConfig& cfg, u32 gmem_latency);
+
+  bool can_accept() const { return pending() < max_outstanding_; }
+  void push(DmaDescriptor descriptor);
+
+  /// Descriptors not yet fully completed (queued + active + in the
+  /// completion-latency window). This is what software polls as kDmaStatus.
+  u32 pending() const;
+
+  /// Advance one cycle; returns bytes granted (progress for deadlock
+  /// detection). Must run after GlobalMemory::step so the cycle's scalar
+  /// traffic has first claim on the byte budget.
+  u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm);
+
+  bool idle() const { return pending() == 0; }
+  u64 bytes_moved() const { return bytes_moved_; }
+  u64 descriptors_completed() const { return descriptors_completed_; }
+
+ private:
+  void move_word(const DmaDescriptor& d, u32 word_index, GlobalMemory& gmem,
+                 DmaSpmPort& spm);
+
+  u32 max_outstanding_;
+  u32 port_bytes_per_cycle_;
+  u32 gmem_latency_;
+
+  std::deque<DmaDescriptor> queue_;
+  bool active_ = false;
+  DmaDescriptor current_;
+  u64 granted_bytes_ = 0;  ///< channel bytes claimed for `current_`
+  u32 moved_words_ = 0;    ///< words functionally moved for `current_`
+  std::deque<sim::Cycle> completing_;  ///< done_at stamps awaiting latency
+
+  u64 bytes_moved_ = 0;
+  u64 descriptors_completed_ = 0;
+};
+
+/// The cluster's DMA subsystem: `engines_per_group` engines per group,
+/// with per-group round-robin descriptor dispatch.
+class DmaSubsystem {
+ public:
+  DmaSubsystem(const ClusterConfig& cfg);
+
+  u32 num_groups() const { return num_groups_; }
+  u32 engines_per_group() const { return engines_per_group_; }
+
+  /// True if some engine of `group` can take another descriptor.
+  bool can_accept(u32 group) const;
+  /// Dispatch to the group's next engine with a free slot (pre: can_accept).
+  void push(u32 group, DmaDescriptor descriptor);
+
+  /// Aggregate outstanding-descriptor count of `group` (kDmaStatus).
+  u32 pending(u32 group) const;
+
+  /// Advance every engine one cycle; returns total bytes granted.
+  u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm);
+
+  bool idle() const;
+  void reset();
+  void add_counters(sim::CounterSet& counters) const;
+
+  /// Bump the "a start write sat blocked on a full queue this cycle"
+  /// counter (the Cluster's ctrl frontend detects the condition).
+  void note_queue_full_stall() { ++queue_full_stall_cycles_; }
+
+ private:
+  u32 num_groups_;
+  u32 engines_per_group_;
+  DmaConfig cfg_;
+  u32 gmem_latency_;
+  std::vector<DmaEngine> engines_;
+  std::vector<u32> dispatch_rr_;  ///< per-group round-robin cursor
+  u32 step_rr_ = 0;               ///< rotates per-cycle engine service order
+  u64 busy_cycles_ = 0;           ///< cycles any engine moved bytes
+  u64 queue_full_stall_cycles_ = 0;
+};
+
+}  // namespace mp3d::arch

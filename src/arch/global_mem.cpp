@@ -144,7 +144,8 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
       ++requests_served_;
     }
   }
-  if (was_busy) {
+  if (was_busy && busy_stamp_ != now) {
+    busy_stamp_ = now;
     ++busy_cycles_;
   }
   while (!in_flight_.empty() && in_flight_.front().done_at <= now) {
@@ -164,8 +165,21 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
   }
 }
 
+u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
+  const u32 granted = static_cast<u32>(std::min<u64>(budget_, bytes));
+  budget_ -= granted;
+  bytes_transferred_ += granted;
+  bulk_bytes_ += granted;
+  if (granted > 0 && busy_stamp_ != now) {
+    busy_stamp_ = now;
+    ++busy_cycles_;
+  }
+  return granted;
+}
+
 void GlobalMemory::add_counters(sim::CounterSet& counters) const {
   counters.set("gmem.bytes", bytes_transferred_);
+  counters.set("gmem.bulk_bytes", bulk_bytes_);
   counters.set("gmem.busy_cycles", busy_cycles_);
   counters.set("gmem.requests", requests_served_);
 }

@@ -40,6 +40,16 @@ class GlobalMemory {
   void step(sim::Cycle now, std::vector<MemResponse>& responses,
             std::vector<u32>& refills);
 
+  /// Claim up to `bytes` of the current cycle's remaining byte budget for a
+  /// bulk (DMA) transfer; returns the granted amount. Scalar and refill
+  /// traffic is latency-critical and is served first each cycle (in step());
+  /// bulk engines arbitrate for whatever the FIFO left over, so DMA can
+  /// saturate an idle channel without starving the cores.
+  u32 claim_bulk(u32 bytes, sim::Cycle now);
+
+  u32 bytes_per_cycle() const { return bytes_per_cycle_; }
+  u32 latency() const { return latency_; }
+
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u64 bytes_transferred() const { return bytes_transferred_; }
   void add_counters(sim::CounterSet& counters) const;
@@ -67,8 +77,10 @@ class GlobalMemory {
   std::deque<InFlight> in_flight_;
   std::unordered_map<u32, std::vector<u32>> pages_;
   u64 bytes_transferred_ = 0;
+  u64 bulk_bytes_ = 0;
   u64 busy_cycles_ = 0;
   u64 requests_served_ = 0;
+  sim::Cycle busy_stamp_ = ~sim::Cycle{0};  ///< last cycle counted as busy
 
   static constexpr u32 kPageWords = 16384;  ///< 64 KiB pages
 

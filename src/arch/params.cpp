@@ -34,6 +34,13 @@ void ClusterConfig::validate() const {
              "network pipes need at least one register stage");
   MP3D_CHECK(gmem_size >= MiB(1), "global memory window too small");
   MP3D_CHECK(port_queue_depth >= 1, "port queues need at least one entry");
+  MP3D_CHECK(dma.engines_per_group >= 1 && dma.engines_per_group <= 8,
+             "1..8 DMA engines per group");
+  MP3D_CHECK(dma.max_outstanding >= 1 && dma.max_outstanding <= 64,
+             "DMA descriptor queue depth must be in 1..64");
+  MP3D_CHECK(dma.bytes_per_cycle >= 4 && dma.bytes_per_cycle % 4 == 0,
+             "DMA port width must be a positive multiple of 4 bytes");
+  MP3D_CHECK(dma.bytes_per_cycle <= 512, "DMA port width above 512 B/cycle is not meaningful");
 }
 
 std::string ClusterConfig::to_string() const {
@@ -42,7 +49,8 @@ std::string ClusterConfig::to_string() const {
       << tiles_per_group << " tiles x " << cores_per_tile << " cores), "
       << num_banks() << " banks, SPM " << spm_capacity / 1024 << " KiB ("
       << bank_bytes() / 1024.0 << " KiB/bank), off-chip " << gmem_bytes_per_cycle
-      << " B/cycle";
+      << " B/cycle, " << dma.engines_per_group << " DMA engine(s)/group @ "
+      << dma.bytes_per_cycle << " B/cycle";
   return oss.str();
 }
 

@@ -14,6 +14,13 @@
 
 namespace mp3d::arch {
 
+/// Per-group DMA engine parameters (MemPool's bulk gmem<->SPM path).
+struct DmaConfig {
+  u32 engines_per_group = 1;   ///< DMA engines instantiated per group
+  u32 max_outstanding = 4;     ///< descriptor queue depth per engine
+  u32 bytes_per_cycle = 64;    ///< SPM-side port width of one engine
+};
+
 struct ClusterConfig {
   // ----- topology ---------------------------------------------------------
   u32 num_groups = 4;        ///< groups per cluster (2x2 physical arrangement)
@@ -55,6 +62,9 @@ struct ClusterConfig {
   // ----- global (off-chip) memory -----------------------------------------
   u32 gmem_bytes_per_cycle = 16;  ///< paper sweeps 4..64 B/cycle
   u32 gmem_latency = 4;           ///< idealized, as in the paper's model
+
+  // ----- per-group DMA engines ---------------------------------------------
+  DmaConfig dma;
 
   // ----- derived ----------------------------------------------------------
   u32 num_tiles() const { return num_groups * tiles_per_group; }

@@ -57,6 +57,15 @@ struct MatmulParams {
 Kernel build_matmul(const arch::ClusterConfig& cfg, const MatmulParams& params,
                     u64 seed = 1);
 
+/// Double-buffered DMA variant of the same workload: core 0 stages the
+/// next A/B chunk into a second pair of SPM tile buffers through the
+/// per-group DMA engines while every core computes on the current pair, so
+/// the memory phase overlaps compute and the bulk traffic saturates the
+/// off-chip channel instead of the cores' issue rate. Needs 5 t x t tiles
+/// of SPM (A0/A1/B0/B1/C); sampling controls are not supported.
+Kernel build_matmul_dma(const arch::ClusterConfig& cfg, const MatmulParams& params,
+                        u64 seed = 1);
+
 /// Phase timing extracted from a run's markers.
 struct MatmulPhaseTimes {
   double mem_cycles_per_chunk = 0.0;      ///< avg memory phase (incl. barrier)

@@ -40,6 +40,13 @@ std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   s += strfmt(".equ LOG2_STACK, %u\n", log2_exact(stack_bytes));
   s += strfmt(".equ BAR_COUNT0, 0x%x\n", barrier_counter0_addr(cfg));
   s += strfmt(".equ BAR_COUNT1, 0x%x\n", barrier_counter1_addr(cfg));
+  s += strfmt(".equ DMA_SRC, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaSrc);
+  s += strfmt(".equ DMA_DST, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaDst);
+  s += strfmt(".equ DMA_LEN, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaLen);
+  s += strfmt(".equ DMA_STRIDE, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStride);
+  s += strfmt(".equ DMA_ROWS, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaRows);
+  s += strfmt(".equ DMA_START, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStart);
+  s += strfmt(".equ DMA_STATUS, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStatus);
   return s;
 }
 
@@ -99,6 +106,36 @@ _bar_cnt_sel:
     ret
 _bar_sleep:
     wfi
+    ret
+)";
+}
+
+std::string runtime_dma(const arch::ClusterConfig& cfg) {
+  (void)cfg;
+  // The staging registers are per-core, so concurrent callers on different
+  // cores never race; the start write blocks (in the ctrl frontend) while
+  // the group's descriptor queues are full.
+  return R"(# ---- DMA helpers (generated); clobber t0-t1 ----
+_dma_copy_in:
+_dma_copy_out:
+    li t0, DMA_SRC
+    sw a0, 0(t0)
+    li t0, DMA_DST
+    sw a1, 0(t0)
+    li t0, DMA_LEN
+    sw a2, 0(t0)
+    li t0, DMA_ROWS
+    sw a3, 0(t0)
+    li t0, DMA_STRIDE
+    sw a4, 0(t0)
+    li t0, DMA_START
+    sw zero, 0(t0)
+    ret
+_dma_wait:
+    li t0, DMA_STATUS
+_dma_wait_loop:
+    lw t1, 0(t0)
+    bnez t1, _dma_wait_loop
     ret
 )";
 }

@@ -34,6 +34,16 @@ std::string runtime_crt0(const arch::ClusterConfig& cfg);
 /// The callable `_barrier` function.
 std::string runtime_barrier(const arch::ClusterConfig& cfg);
 
+/// Callable DMA helpers driving the per-group engines via the ctrl
+/// registers (clobber t0-t1 only):
+///   - `_dma_copy_in`:  a0 = gmem src, a1 = SPM dst, a2 = bytes per row,
+///                      a3 = rows, a4 = gmem row stride; returns immediately
+///                      after handing the descriptor to the engine.
+///   - `_dma_copy_out`: a0 = SPM src, a1 = gmem dst, same a2-a4.
+///   - `_dma_wait`:     spin until the calling core's group has no
+///                      outstanding descriptors.
+std::string runtime_dma(const arch::ClusterConfig& cfg);
+
 /// Address of the two barrier counters in the interleaved region.
 u32 barrier_counter0_addr(const arch::ClusterConfig& cfg);
 u32 barrier_counter1_addr(const arch::ClusterConfig& cfg);

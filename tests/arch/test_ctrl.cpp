@@ -1,0 +1,220 @@
+// SPDX-License-Identifier: Apache-2.0
+// Control peripherals: markers, console putchar, wake-one/wake-all,
+// cycle-counter reads, topology registers and fault behaviour on
+// undefined offsets.
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace mp3d::arch {
+namespace {
+
+using mp3d::testing::ctrl_prelude;
+
+TEST(CtrlPeripherals, MarkersRecordValueCoreAndCycle) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, MARKER
+    li t2, 7
+    sw t2, 0(t1)
+    li t2, 9
+    sw t2, 0(t1)
+    li t2, 7
+    sw t2, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.markers.size(), 3U);
+  EXPECT_EQ(r.markers[0].id, 7U);
+  EXPECT_EQ(r.markers[0].core, 0U);
+  EXPECT_EQ(r.markers[1].id, 9U);
+  const auto sevens = r.marker_cycles(7);
+  ASSERT_EQ(sevens.size(), 2U);
+  EXPECT_LT(sevens[0], sevens[1]);
+  EXPECT_TRUE(r.marker_cycle(9).has_value());
+  EXPECT_FALSE(r.marker_cycle(42).has_value());
+}
+
+TEST(CtrlPeripherals, PutCharBuildsConsoleString) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, PUTCHAR
+    li t2, 111              # 'o'
+    li t3, 107              # 'k'
+    sw t2, 0(t1)
+    sw t3, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.console, "ok");
+}
+
+TEST(CtrlPeripherals, WakeOneReleasesASleepingCore) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  // Core 1 sleeps; core 0 wakes it; core 1 then reports through EOC.
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    li t1, 1
+    beq t0, t1, sleeper
+    bnez t0, park
+    # core 0: give core 1 time to reach wfi, then wake it
+    li t3, 200
+delay:
+    addi t3, t3, -1
+    bnez t3, delay
+    li t1, WAKE_ONE
+    li t2, 1
+    sw t2, 0(t1)
+park:
+    wfi
+    j park
+sleeper:
+    wfi
+    li t0, EOC
+    li a0, 77
+    sw a0, 0(t0)
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_EQ(r.exit_code, 77U);
+}
+
+TEST(CtrlPeripherals, WakeAllReleasesEveryOtherCore) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  // Cores 1..3 sleep, then each bumps an SPM counter with an AMO; core 0
+  // wakes everyone and polls until all three checked in.
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, sleeper
+    li t3, 400
+delay:
+    addi t3, t3, -1
+    bnez t3, delay
+    li t1, WAKE_ALL
+    sw t1, 0(t1)
+    li t4, 0x2000
+poll:
+    lw t5, 0(t4)
+    li t6, 3
+    bne t5, t6, poll
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+sleeper:
+    wfi
+    li t4, 0x2000
+    li t5, 1
+    amoadd.w t6, t5, (t4)
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cluster.read_word(0x2000), 3U);
+}
+
+TEST(CtrlPeripherals, CycleReadsAreMonotonic) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, CYCLE
+    lw t2, 0(t1)
+    lw t3, 0(t1)
+    sub a0, t3, t2
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.eoc);
+  // Strictly later, and a ctrl round trip is short (queue + response).
+  EXPECT_GE(r.exit_code, 1U);
+  EXPECT_LE(r.exit_code, 16U);
+}
+
+TEST(CtrlPeripherals, TopologyRegistersMatchConfig) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, NUM_CORES
+    lw a0, 0(t1)
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_EQ(r.exit_code, cfg.num_cores());
+}
+
+TEST(CtrlPeripherals, UndefinedOffsetFaultsTheCore) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, CTRL
+    sw zero, 0x80(t1)       # far past the defined register file
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src, 100000);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.core_errors.empty());
+  EXPECT_FALSE(r.core_errors[0].empty());
+}
+
+}  // namespace
+}  // namespace mp3d::arch

@@ -31,6 +31,13 @@ inline std::string ctrl_prelude(const arch::ClusterConfig& cfg) {
   s += ".equ CYCLE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kCycle) + "\n";
   s += ".equ MARKER, " + std::to_string(cfg.ctrl_base + arch::ctrl::kMarker) + "\n";
   s += ".equ NUM_CORES, " + std::to_string(cfg.ctrl_base + arch::ctrl::kNumCores) + "\n";
+  s += ".equ DMA_SRC, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaSrc) + "\n";
+  s += ".equ DMA_DST, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaDst) + "\n";
+  s += ".equ DMA_LEN, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaLen) + "\n";
+  s += ".equ DMA_STRIDE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStride) + "\n";
+  s += ".equ DMA_ROWS, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaRows) + "\n";
+  s += ".equ DMA_START, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStart) + "\n";
+  s += ".equ DMA_STATUS, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStatus) + "\n";
   return s;
 }
 
