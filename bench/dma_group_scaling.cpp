@@ -1,0 +1,100 @@
+// SPDX-License-Identifier: Apache-2.0
+// Group-parallel DMA scaling sweep: with SPMD per-group issue, every
+// group's leader core streams its slice of a gmem buffer through its own
+// group's engines, so bulk bandwidth scales with the group count until the
+// off-chip channel saturates. The sweep fixes the engine port width at
+// 8 B/cycle against a 64 B/cycle channel, so the engines — not the channel
+// — are the bottleneck on the small configurations: bandwidth must grow
+// strictly monotonically with the group count at fixed engines_per_group.
+//
+// Usage: dma_group_scaling [--smoke]
+//   --smoke: reduced sweep (1-tile groups, 1 and 2 groups, one engine) used
+//            as the CTest-gated regression run.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernels/simple_kernels.hpp"
+
+using namespace mp3d;
+
+namespace {
+
+arch::ClusterConfig scaling_cfg(u32 groups, u32 tiles_per_group, u32 engines) {
+  arch::ClusterConfig cfg;
+  cfg.num_groups = groups;
+  cfg.tiles_per_group = tiles_per_group;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  // 16 KiB of SPM per tile keeps the bank geometry identical across the
+  // sweep while giving every extra group its own buffer slice.
+  cfg.spm_capacity = KiB(16) * groups * tiles_per_group;
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.perfect_icache = true;  // isolate bulk traffic on the channel
+  cfg.gmem_bytes_per_cycle = 64;
+  cfg.dma.bytes_per_cycle = 8;  // engine port is the bottleneck, not the channel
+  cfg.dma.engines_per_group = engines;
+  cfg.validate();
+  return cfg;
+}
+
+/// Bytes per cycle of bulk DMA traffic sustained by the streaming kernel.
+double run_point(u32 groups, u32 tiles_per_group, u32 engines, u32 words_per_group,
+                 u32 rounds) {
+  const arch::ClusterConfig cfg = scaling_cfg(groups, tiles_per_group, engines);
+  arch::Cluster cluster(cfg);
+  const u32 n = words_per_group * groups;
+  const arch::RunResult r =
+      kernels::run_kernel(cluster, kernels::build_memcpy_dma(cfg, n, rounds), 200'000'000);
+  return static_cast<double>(r.counters.get("dma.bytes")) / static_cast<double>(r.cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<u32> group_sweep = smoke ? std::vector<u32>{1, 2}
+                                             : std::vector<u32>{1, 2, 4};
+  const std::vector<u32> engine_sweep = smoke ? std::vector<u32>{1}
+                                              : std::vector<u32>{1, 2};
+  const u32 tiles_per_group = smoke ? 1 : 4;
+  const u32 words_per_group = smoke ? 2048 : 8192;  // 8 / 32 KiB per leader
+  const u32 rounds = smoke ? 2 : 6;
+
+  Table table(std::string("group-parallel DMA streaming bandwidth") +
+              (smoke ? " (smoke)" : "") + " [B/cycle, 8 B/cycle engine port, "
+              "64 B/cycle channel]");
+  {
+    std::vector<std::string> header{"engines/group"};
+    for (const u32 g : group_sweep) {
+      header.push_back(std::to_string(g) + (g == 1 ? " group" : " groups"));
+    }
+    table.header(header);
+  }
+  CsvWriter csv;
+  csv.header({"engines_per_group", "groups", "bandwidth_bytes_per_cycle"});
+
+  bool monotonic = true;
+  for (const u32 engines : engine_sweep) {
+    std::vector<std::string> row{std::to_string(engines)};
+    double prev = 0.0;
+    for (const u32 groups : group_sweep) {
+      const double bw = run_point(groups, tiles_per_group, engines, words_per_group,
+                                  rounds);
+      row.push_back(fmt_norm(bw, 2));
+      csv.row({std::to_string(engines), std::to_string(groups), fmt_norm(bw, 4)});
+      if (bw <= prev) {
+        monotonic = false;
+      }
+      prev = bw;
+    }
+    table.row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("bulk bandwidth strictly increasing with group count: %s\n\n",
+              monotonic ? "yes" : "NO");
+  bench::save_csv(csv, smoke ? "dma_group_scaling_smoke" : "dma_group_scaling");
+  return monotonic ? 0 : 1;
+}

@@ -52,6 +52,16 @@ class SpmBank {
   u64 conflict_wait_cycles() const { return conflict_wait_cycles_; }
   u64 conflicts() const { return conflicts_; }
 
+  /// Drop queued requests and reservations and zero the statistics;
+  /// storage is untouched. Called between program loads on one cluster.
+  void reset_run_state() {
+    queue_.clear();
+    reservations_.clear();
+    accesses_ = 0;
+    conflicts_ = 0;
+    conflict_wait_cycles_ = 0;
+  }
+
  private:
   u32 execute(const BankRequest& request);
 

@@ -52,6 +52,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
                                          cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency);
   dma_ = std::make_unique<DmaSubsystem>(cfg_);
   dma_stage_.resize(cfg_.num_cores());
+  dma_wake_armed_.assign(cfg_.num_cores(), 0);
   const u32 tiles = cfg_.num_tiles();
   banks_.reserve(static_cast<std::size_t>(tiles) * cfg_.banks_per_tile);
   for (u32 b = 0; b < cfg_.num_banks(); ++b) {
@@ -92,7 +93,20 @@ void Cluster::load_program(const isa::Program& program) {
   }
   for (auto& icache : icaches_) {
     icache->flush();
+    icache->reset_stats();
   }
+  // Drop traffic and statistics left over from a previous run so
+  // back-to-back runs on one cluster start from an identical state (memory
+  // *contents* persist; reloading inputs is the kernel init hook's job).
+  gmem_->reset_run_state();
+  noc_->reset_run_state();
+  for (SpmBank& bank : banks_) {
+    bank.reset_run_state();
+  }
+  active_banks_.clear();
+  std::fill(bank_active_flag_.begin(), bank_active_flag_.end(), 0);
+  refill_slots_.clear();
+  refill_free_.clear();
   cycle_ = 0;
   eoc_ = false;
   eoc_code_ = 0;
@@ -101,6 +115,10 @@ void Cluster::load_program(const isa::Program& program) {
   ctrl_queue_.clear();
   dma_->reset();
   std::fill(dma_stage_.begin(), dma_stage_.end(), DmaStage{});
+  std::fill(dma_wake_armed_.begin(), dma_wake_armed_.end(), 0);
+  dma_wakes_ = 0;
+  dma_wakes_suppressed_ = 0;
+  dma_status_reads_ = 0;
   activity_ = 0;
   last_activity_value_ = 0;
   last_activity_cycle_ = 0;
@@ -304,6 +322,24 @@ u32 Cluster::dma_read_spm(u32 addr) { return spm_read_word(addr); }
 
 void Cluster::dma_write_spm(u32 addr, u32 value) { spm_write_word(addr, value); }
 
+void Cluster::dma_wake_core(u32 core) {
+  MP3D_ASSERT(core < cores_.size());  // validated at kDmaStart
+  // Deliver the wake only when the target is committed to consuming it:
+  // either already in wfi, or armed (its last kDmaStatus read was nonzero,
+  // so a wfi is on the way in program order). A busy, unarmed core is
+  // skipped — it will observe the drained count on its next status read —
+  // so no token leaks into an unrelated later wfi (e.g. the barrier's).
+  SnitchCore& target = *cores_[core];
+  if (target.asleep() || dma_wake_armed_[core] != 0) {
+    target.wake(cycle_);
+    ++dma_wakes_;
+    ++activity_;
+  } else {
+    ++dma_wakes_suppressed_;
+  }
+  dma_wake_armed_[core] = 0;
+}
+
 bool Cluster::dma_start(const MemRequest& request) {
   const DmaStage& st = dma_stage_[request.core];
   const auto fail = [&](const std::string& why) {
@@ -346,6 +382,9 @@ bool Cluster::dma_start(const MemRequest& request) {
   if (spm_last > 0xFFFF'FFFFULL || !map_.is_spm(static_cast<u32>(spm_last))) {
     return fail("SPM side runs past the scratchpad");
   }
+  if (st.wake != kDmaNoWaker && st.wake >= cfg_.num_cores()) {
+    return fail("waker core id " + std::to_string(st.wake) + " out of range");
+  }
   DmaDescriptor d;
   d.src = st.src;
   d.dst = st.dst;
@@ -354,6 +393,7 @@ bool Cluster::dma_start(const MemRequest& request) {
   d.gmem_stride = st.stride;
   d.to_spm = to_spm;
   d.core = request.core;
+  d.waker = st.wake;
   dma_->push(core_group(request.core), d);
   ++activity_;
   return true;
@@ -464,6 +504,18 @@ void Cluster::ctrl_access(const MemRequest& request) {
         return;
       }
       resp.rdata = dma_->pending(core_group(request.core));
+      // A nonzero read arms the completion wake: the reader is headed for
+      // wfi, so the next completion naming it as waker must not be
+      // suppressed even if it lands before the wfi executes.
+      dma_wake_armed_[request.core] = resp.rdata != 0 ? 1 : 0;
+      ++dma_status_reads_;
+      break;
+    case ctrl::kDmaWake:
+      if (is_write) {
+        dma_stage_[request.core].wake = request.wdata;
+      } else {
+        resp.rdata = dma_stage_[request.core].wake;
+      }
       break;
     default:
       cores_[request.core]->fault("access to undefined ctrl register offset " +
@@ -610,6 +662,9 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
   noc_->add_counters(result.counters);
   gmem_->add_counters(result.counters);
   dma_->add_counters(result.counters);
+  result.counters.set("dma.wakes", dma_wakes_);
+  result.counters.set("dma.wakes_suppressed", dma_wakes_suppressed_);
+  result.counters.set("dma.status_reads", dma_status_reads_);
   result.counters.set("cycles", cycle_);
   return result;
 }

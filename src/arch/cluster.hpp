@@ -51,6 +51,16 @@ inline constexpr u32 kBarrierBase = 0x24;  ///< R: reserved SPM addr for barrier
 // staged descriptor and hands it to one of the writer's group DMA engines
 // (blocking the ctrl frontend while every engine queue of the group is
 // full). kDmaStatus reads the group's outstanding-descriptor count.
+//
+// Wake-on-completion: a descriptor whose staged kDmaWake names a core wakes
+// that core (through the cluster wake-up unit) the cycle it completes. The
+// wake is suppressed while the target is running and has not "armed" it —
+// a kDmaStatus read that returns nonzero arms the reader — so a core that
+// never sleeps leaks no wake token into a later wfi (the runtime barrier
+// depends on precise token accounting). The sleep/wake `_dma_wait` in the
+// kernel runtime builds on this: read status, and if nonzero sleep with
+// wfi until a completion wake, repeating until the count drains. Only the
+// core a descriptor names as waker may wait this way.
 inline constexpr u32 kDmaSrc = 0x28;     ///< RW: source byte address
 inline constexpr u32 kDmaDst = 0x2C;     ///< RW: destination byte address
 inline constexpr u32 kDmaLen = 0x30;     ///< RW: bytes per row (multiple of 4)
@@ -58,6 +68,7 @@ inline constexpr u32 kDmaStride = 0x34;  ///< RW: gmem-side row stride in bytes
 inline constexpr u32 kDmaRows = 0x38;    ///< RW: row count (1 = 1D transfer)
 inline constexpr u32 kDmaStart = 0x3C;   ///< W: launch the staged descriptor
 inline constexpr u32 kDmaStatus = 0x40;  ///< R: outstanding descriptors (group)
+inline constexpr u32 kDmaWake = 0x44;    ///< RW: waker core id (kDmaNoWaker = off)
 }  // namespace ctrl
 
 struct RunResult {
@@ -136,6 +147,7 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   // ---- DmaSpmPort (dedicated wide SPM port of the DMA engines) --------------
   u32 dma_read_spm(u32 addr) override;
   void dma_write_spm(u32 addr, u32 value) override;
+  void dma_wake_core(u32 core) override;
 
  private:
   void serve_banks();
@@ -173,8 +185,15 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
     u32 len = 0;
     u32 stride = 0;
     u32 rows = 1;
+    u32 wake = kDmaNoWaker;  ///< waker core id; kDmaNoWaker = no wake
   };
   std::vector<DmaStage> dma_stage_;
+  /// Completion-wake arming: set when the core's last kDmaStatus read was
+  /// nonzero (it is about to wfi), cleared when a wake is delivered.
+  std::vector<u8> dma_wake_armed_;
+  u64 dma_wakes_ = 0;             ///< completion wakes delivered
+  u64 dma_wakes_suppressed_ = 0;  ///< completions whose waker was busy/unarmed
+  u64 dma_status_reads_ = 0;      ///< kDmaStatus reads (poll-traffic witness)
 
   // Bank scheduling: only banks with queued work are visited.
   std::vector<u32> active_banks_;

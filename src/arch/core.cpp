@@ -41,6 +41,15 @@ void SnitchCore::reset(u32 pc, u32 sp) {
   wake_tokens_ = 0;
   stall_until_ = 0;
   instret_ = 0;
+  stall_raw_ = 0;
+  stall_lsu_full_ = 0;
+  stall_port_busy_ = 0;
+  stall_fetch_ = 0;
+  stall_fence_ = 0;
+  stall_flush_ = 0;
+  wfi_cycles_ = 0;
+  mem_ops_ = 0;
+  mac_ops_ = 0;
 }
 
 void SnitchCore::deliver(const MemResponse& resp, sim::Cycle now) {

@@ -40,7 +40,12 @@ void DmaEngine::move_word(const DmaDescriptor& d, u32 word_index, GlobalMemory& 
 }
 
 u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
-  while (!completing_.empty() && completing_.front() <= now) {
+  while (!completing_.empty() && completing_.front().done_at <= now) {
+    // The descriptor leaves the pending count this cycle; this is the
+    // moment software can observe completion, so the wake fires here.
+    if (completing_.front().waker != kDmaNoWaker) {
+      spm.dma_wake_core(completing_.front().waker);
+    }
     completing_.pop_front();
   }
   u32 port_budget = port_bytes_per_cycle_;
@@ -67,7 +72,7 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
       ++moved_words_;
     }
     if (granted_bytes_ == current_.total_bytes()) {
-      completing_.push_back(now + gmem_latency_);
+      completing_.push_back(Completion{now + gmem_latency_, current_.waker});
       ++descriptors_completed_;
       active_ = false;
     }

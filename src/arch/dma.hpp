@@ -38,14 +38,22 @@ namespace mp3d::arch {
 
 class GlobalMemory;
 
-/// Word-granular functional SPM access, implemented by the Cluster. The
-/// engines own a dedicated wide SPM port, so data moves directly into the
-/// interleaved banks without traversing the core-side interconnect.
+/// Sentinel for DmaDescriptor::waker: nobody is woken on completion.
+inline constexpr u32 kDmaNoWaker = 0xFFFF'FFFFu;
+
+/// Cluster-side port of the DMA engines: word-granular functional SPM
+/// access (the engines own a dedicated wide SPM port, so data moves
+/// directly into the interleaved banks without traversing the core-side
+/// interconnect) plus the completion-wake hook into the cluster's wake-up
+/// unit.
 class DmaSpmPort {
  public:
   virtual ~DmaSpmPort() = default;
   virtual u32 dma_read_spm(u32 addr) = 0;
   virtual void dma_write_spm(u32 addr, u32 value) = 0;
+  /// A descriptor carrying waker id `core` finished (its completion-latency
+  /// window passed, i.e. the cycle its group's pending count drops).
+  virtual void dma_wake_core(u32 core) = 0;
 };
 
 /// A validated bulk-transfer request (built from the ctrl registers).
@@ -57,6 +65,7 @@ struct DmaDescriptor {
   u32 gmem_stride = 0;    ///< byte step between row starts on the gmem side
   bool to_spm = true;     ///< gmem -> SPM (load) or SPM -> gmem (store)
   u16 core = 0;           ///< issuing core (accounting)
+  u32 waker = kDmaNoWaker;  ///< core to wake on completion (kDmaNoWaker = none)
 
   u64 total_bytes() const { return static_cast<u64>(bytes_per_row) * rows; }
 };
@@ -90,12 +99,17 @@ class DmaEngine {
   u32 port_bytes_per_cycle_;
   u32 gmem_latency_;
 
+  struct Completion {
+    sim::Cycle done_at = 0;  ///< cycle the completion latency window passes
+    u32 waker = kDmaNoWaker;
+  };
+
   std::deque<DmaDescriptor> queue_;
   bool active_ = false;
   DmaDescriptor current_;
   u64 granted_bytes_ = 0;  ///< channel bytes claimed for `current_`
   u32 moved_words_ = 0;    ///< words functionally moved for `current_`
-  std::deque<sim::Cycle> completing_;  ///< done_at stamps awaiting latency
+  std::deque<Completion> completing_;  ///< descriptors awaiting latency
 
   u64 bytes_moved_ = 0;
   u64 descriptors_completed_ = 0;

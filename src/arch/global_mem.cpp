@@ -177,6 +177,17 @@ u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
   return granted;
 }
 
+void GlobalMemory::reset_run_state() {
+  queue_.clear();
+  in_flight_.clear();
+  budget_ = 0;
+  bytes_transferred_ = 0;
+  bulk_bytes_ = 0;
+  busy_cycles_ = 0;
+  requests_served_ = 0;
+  busy_stamp_ = ~sim::Cycle{0};
+}
+
 void GlobalMemory::add_counters(sim::CounterSet& counters) const {
   counters.set("gmem.bytes", bytes_transferred_);
   counters.set("gmem.bulk_bytes", bulk_bytes_);

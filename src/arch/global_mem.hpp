@@ -54,6 +54,10 @@ class GlobalMemory {
   u64 bytes_transferred() const { return bytes_transferred_; }
   void add_counters(sim::CounterSet& counters) const;
 
+  /// Drop queued/in-flight traffic and zero all statistics; storage is
+  /// untouched. Called between program loads on one cluster.
+  void reset_run_state();
+
  private:
   struct Item {
     bool is_refill = false;

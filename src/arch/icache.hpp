@@ -46,6 +46,7 @@ class TileICache {
   u64 misses() const { return misses_; }
   void count_hit() { ++hits_; }
   void count_miss() { ++misses_; }
+  void reset_stats() { hits_ = 0; misses_ = 0; }
   void add_counters(sim::CounterSet& counters) const;
 
  private:

@@ -112,6 +112,21 @@ bool Interconnect::idle() const {
          std::all_of(resp_ports_.begin(), resp_ports_.end(), port_idle);
 }
 
+void Interconnect::reset_run_state() {
+  for (auto& port : req_ports_) {
+    port.queue.clear();
+    port.pipe.clear();
+  }
+  for (auto& port : resp_ports_) {
+    port.queue.clear();
+    port.pipe.clear();
+  }
+  req_flits_ = 0;
+  resp_flits_ = 0;
+  req_hol_blocked_ = 0;
+  resp_hol_blocked_ = 0;
+}
+
 void Interconnect::add_counters(sim::CounterSet& counters) const {
   counters.set("noc.req_flits", req_flits_);
   counters.set("noc.resp_flits", resp_flits_);

@@ -60,6 +60,10 @@ class Interconnect {
   bool idle() const;
   void add_counters(sim::CounterSet& counters) const;
 
+  /// Drop in-flight flits and zero the statistics. Called between program
+  /// loads on one cluster.
+  void reset_run_state();
+
  private:
   template <typename T>
   struct Flit {

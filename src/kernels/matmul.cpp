@@ -460,6 +460,13 @@ Kernel build_matmul_dma(const arch::ClusterConfig& cfg, const MatmulParams& p, u
   MP3D_CHECK(!p.is_sampled(), "the DMA matmul does not support sampled variants");
   const u32 nt = p.m / p.t;  // k-chunks per output tile (== tiles per axis)
   const u32 tdiv4 = p.t / 4;
+  // SPMD per-group issue: every tile transfer is split into row slices, one
+  // per group, issued by that group's leader core to its own engines — bulk
+  // bandwidth scales with the group count instead of being bottlenecked on
+  // group 0's engines.
+  const u32 groups = cfg.num_groups;
+  MP3D_CHECK(p.t % groups == 0, "tile dim must split evenly across the groups");
+  const u32 rpg = p.t / groups;  // tile rows staged per group
 
   // Five t x t tiles: double-buffered A and B plus the C accumulator tile.
   SpmAllocator spm(cfg);
@@ -493,13 +500,18 @@ Kernel build_matmul_dma(const arch::ClusterConfig& cfg, const MatmulParams& p, u
   s += strfmt(".equ KT4, %u\n", p.t * p.t * 4);
   s += strfmt(".equ BSTRIDE, %u\n", p.t * 4 - 12);
   s += strfmt(".equ BACKSTRIDE, %d\n", -3 * static_cast<i32>(p.t) * 4 + 4);
+  s += strfmt(".equ RPG, %u\n", rpg);
+  s += strfmt(".equ RPG_M4, %u\n", rpg * p.m * 4);  // group slice step, gmem side
+  s += strfmt(".equ RPG_T4, %u\n", rpg * p.t * 4);  // group slice step, SPM side
 
   s += ".text " + strfmt("0x%x", cfg.gmem_base) + "\n";
   s += runtime_crt0(cfg);
 
   // ------------------------------------------------------------------ main
   // Stack frame: 0-16 compute-phase spills, 20-28 block pointers,
-  // 32/36 = current A/B buffer, 40/44 = next A/B buffer, 60 = ra.
+  // 32/36 = current A/B buffer, 40/44 = next A/B buffer, 48 = group gmem
+  // slice offset, 52 = group-leader flag, 56 = group SPM slice offset,
+  // 60 = ra.
   s += R"(
 main:
     addi sp, sp, -64
@@ -507,7 +519,17 @@ main:
     csrr s0, mhartid
 )";
   s += emit_marker("1", p.markers);  // kernel start
-  s += R"(    li s1, 0                 # io
+  s += R"(    # SPMD setup: leader flag and this group's tile row-slice offsets
+    call _group_leader
+    sw a0, 52(sp)
+    call _group_id
+    li t3, RPG_M4
+    mul t3, a0, t3
+    sw t3, 48(sp)
+    li t3, RPG_T4
+    mul t3, a0, t3
+    sw t3, 56(sp)
+    li s1, 0                 # io
 dm_io_loop:
     li s2, 0                 # jo
 dm_jo_loop:
@@ -529,24 +551,34 @@ dm_jo_loop:
     sw t0, 40(sp)
     li t0, B1T
     sw t0, 44(sp)
-    # ======== prologue: core 0 stages chunk 0 into the current pair ========
-    bnez s0, dm_pro_done
+    # ======== prologue: each group leader stages its row slice of chunk 0
+    # into the current pair, through its own group's engines ========
+    lw t0, 52(sp)
+    beqz t0, dm_pro_done
     li a0, TM4
     mul a0, s1, a0           # A(io, 0) = A_BASE + io*TM4
     li t2, A_BASE
     add a0, a0, t2
+    lw t2, 48(sp)
+    add a0, a0, t2           # + group row-slice offset
     lw a1, 32(sp)
+    lw t2, 56(sp)
+    add a1, a1, t2
     li a2, T4
-    li a3, T
+    li a3, RPG
     li a4, M4
     call _dma_copy_in
     li a0, T4
     mul a0, s2, a0           # B(0, jo) = B_BASE + jo*T4
     li t2, B_BASE
     add a0, a0, t2
+    lw t2, 48(sp)
+    add a0, a0, t2
     lw a1, 36(sp)
+    lw t2, 56(sp)
+    add a1, a1, t2
     li a2, T4
-    li a3, T
+    li a3, RPG
     li a4, M4
     call _dma_copy_in
     call _dma_wait
@@ -556,8 +588,10 @@ dm_pro_done:
 dm_k_loop:
 )";
   s += emit_marker("10", p.markers);
-  s += R"(    # core 0: prefetch chunk kk+1 into the next pair (overlaps compute)
-    bnez s0, dm_pref_done
+  s += R"(    # group leaders: prefetch this group's slice of chunk kk+1 into
+    # the next pair (overlaps the compute phase)
+    lw t0, 52(sp)
+    beqz t0, dm_pref_done
     addi t2, s3, 1
     li t3, NT_RUN
     bge t2, t3, dm_pref_done
@@ -568,9 +602,13 @@ dm_k_loop:
     add a0, a0, t3
     li t3, A_BASE
     add a0, a0, t3
+    lw t3, 48(sp)
+    add a0, a0, t3
     lw a1, 40(sp)
+    lw t3, 56(sp)
+    add a1, a1, t3
     li a2, T4
-    li a3, T
+    li a3, RPG
     li a4, M4
     call _dma_copy_in
     li a0, TM4
@@ -580,17 +618,22 @@ dm_k_loop:
     add a0, a0, t3
     li t3, B_BASE
     add a0, a0, t3
+    lw t3, 48(sp)
+    add a0, a0, t3
     lw a1, 44(sp)
+    lw t3, 56(sp)
+    add a1, a1, t3
     li a2, T4
-    li a3, T
+    li a3, RPG
     li a4, M4
     call _dma_copy_in
 dm_pref_done:
 )";
   s += emit_marker("20", p.markers);
   s += compute_phase("lw t3, 32(sp)", "lw t3, 36(sp)");
-  s += R"(    # core 0 waits for the prefetch; everyone meets at the barrier
-    bnez s0, dm_wait_done
+  s += R"(    # group leaders wait for their prefetch; everyone meets at the barrier
+    lw t0, 52(sp)
+    beqz t0, dm_wait_done
     call _dma_wait
 dm_wait_done:
     call _barrier
@@ -611,7 +654,8 @@ dm_wait_done:
     # ======== store phase: C tile -> C(io,jo) via DMA ========
 )";
   s += emit_marker("30", p.markers);
-  s += R"(    bnez s0, dm_store_done
+  s += R"(    lw t0, 52(sp)
+    beqz t0, dm_store_done
     li a1, TM4
     mul a1, s1, a1           # C(io, jo) = C_BASE + io*TM4 + jo*T4
     li t2, T4
@@ -619,9 +663,13 @@ dm_wait_done:
     add a1, a1, t2
     li t2, C_BASE
     add a1, a1, t2
+    lw t2, 48(sp)
+    add a1, a1, t2           # + group row-slice offset
     li a0, CT
+    lw t2, 56(sp)
+    add a0, a0, t2
     li a2, T4
-    li a3, T
+    li a3, RPG
     li a4, M4
     call _dma_copy_out
     call _dma_wait

@@ -31,6 +31,8 @@ std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   s += strfmt(".equ NUM_CORES, %u\n", cfg.num_cores());
   s += strfmt(".equ CORES_PER_TILE, %u\n", cfg.cores_per_tile);
   s += strfmt(".equ LOG2_CPT, %u\n", log2_exact(cfg.cores_per_tile));
+  s += strfmt(".equ NUM_GROUPS, %u\n", cfg.num_groups);
+  s += strfmt(".equ CORES_PER_GROUP, %u\n", cfg.cores_per_tile * cfg.tiles_per_group);
   s += strfmt(".equ SPM_BASE, 0x%x\n", cfg.spm_base);
   s += strfmt(".equ SEQ_PER_TILE, %u\n", static_cast<u32>(cfg.seq_bytes_per_tile));
   s += strfmt(".equ LOG2_SEQ_PER_TILE, %u\n", log2_exact(cfg.seq_bytes_per_tile));
@@ -47,6 +49,7 @@ std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   s += strfmt(".equ DMA_ROWS, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaRows);
   s += strfmt(".equ DMA_START, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStart);
   s += strfmt(".equ DMA_STATUS, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStatus);
+  s += strfmt(".equ DMA_WAKE, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaWake);
   return s;
 }
 
@@ -114,8 +117,15 @@ std::string runtime_dma(const arch::ClusterConfig& cfg) {
   (void)cfg;
   // The staging registers are per-core, so concurrent callers on different
   // cores never race; the start write blocks (in the ctrl frontend) while
-  // the group's descriptor queues are full.
-  return R"(# ---- DMA helpers (generated); clobber t0-t1 ----
+  // the group's descriptor queues are full. Descriptors always go to the
+  // *calling core's* group engines, so each group's designated issuer
+  // drives its own engines (SPMD per-group issue). Every helper-issued
+  // descriptor names the caller as waker: `_dma_wait` reads the status
+  // once, and if descriptors are outstanding sleeps in wfi until a
+  // completion wakes it — zero ctrl traffic between sleep and wake,
+  // instead of the former kDmaStatus polling loop. Only the issuing core
+  // may `_dma_wait` (completions wake the waker core alone).
+  return R"(# ---- DMA + SPMD group helpers (generated); clobber t0-t1 ----
 _dma_copy_in:
 _dma_copy_out:
     li t0, DMA_SRC
@@ -128,14 +138,31 @@ _dma_copy_out:
     sw a3, 0(t0)
     li t0, DMA_STRIDE
     sw a4, 0(t0)
+    li t0, DMA_WAKE
+    csrr t1, mhartid
+    sw t1, 0(t0)
     li t0, DMA_START
     sw zero, 0(t0)
     ret
 _dma_wait:
     li t0, DMA_STATUS
 _dma_wait_loop:
-    lw t1, 0(t0)
-    bnez t1, _dma_wait_loop
+    lw t1, 0(t0)              # nonzero read arms the completion wake
+    beqz t1, _dma_wait_done
+    wfi                       # sleep; a completing descriptor wakes us
+    j _dma_wait_loop
+_dma_wait_done:
+    ret
+_group_id:
+    csrr t0, mhartid
+    li a0, CORES_PER_GROUP
+    divu a0, t0, a0
+    ret
+_group_leader:
+    csrr t0, mhartid
+    li a0, CORES_PER_GROUP
+    remu a0, t0, a0
+    seqz a0, a0
     ret
 )";
 }

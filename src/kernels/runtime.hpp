@@ -34,14 +34,21 @@ std::string runtime_crt0(const arch::ClusterConfig& cfg);
 /// The callable `_barrier` function.
 std::string runtime_barrier(const arch::ClusterConfig& cfg);
 
-/// Callable DMA helpers driving the per-group engines via the ctrl
+/// Callable DMA + SPMD helpers driving the per-group engines via the ctrl
 /// registers (clobber t0-t1 only):
 ///   - `_dma_copy_in`:  a0 = gmem src, a1 = SPM dst, a2 = bytes per row,
-///                      a3 = rows, a4 = gmem row stride; returns immediately
-///                      after handing the descriptor to the engine.
+///                      a3 = rows, a4 = gmem row stride; hands the
+///                      descriptor to one of the *calling core's* group
+///                      engines (SPMD per-group issue) with the caller as
+///                      completion waker, then returns immediately.
 ///   - `_dma_copy_out`: a0 = SPM src, a1 = gmem dst, same a2-a4.
-///   - `_dma_wait`:     spin until the calling core's group has no
-///                      outstanding descriptors.
+///   - `_dma_wait`:     sleep (wfi) until the calling core's group has no
+///                      outstanding descriptors; completions wake the
+///                      sleeping issuer, so no ctrl polling happens while
+///                      transfers drain. Only the core that issued the
+///                      descriptors may wait (wakes target the waker core).
+///   - `_group_id`:     a0 = calling core's group index.
+///   - `_group_leader`: a0 = 1 if the caller is its group's first core.
 std::string runtime_dma(const arch::ClusterConfig& cfg);
 
 /// Address of the two barrier counters in the interleaved region.

@@ -27,4 +27,43 @@ Kernel build_conv2d(const arch::ClusterConfig& cfg, u32 h, u32 w,
 /// `n` must be a multiple of 4 * num_cores.
 Kernel build_memcpy(const arch::ClusterConfig& cfg, u32 n, u64 seed = 5);
 
+// ---- staged (gmem-resident) variants ---------------------------------------
+//
+// The kernels above keep their working set resident in the SPM. The staged
+// variants below operate on data living in global memory — working sets far
+// larger than the SPM — by streaming chunks through SPM buffers. With
+// `use_dma` the chunks are double-buffered through the per-group DMA
+// engines: each group's leader core issues its slice of every transfer to
+// its own group's engines (SPMD per-group issue) and sleeps in `_dma_wait`
+// until completion wakes it, so the next chunk's fill overlaps the current
+// chunk's compute. Without `use_dma` the same chunk structure is staged by
+// all cores with scalar copy loops, phase-barriered like `build_matmul` —
+// the core-driven counterpart the DMA variant is benchmarked against.
+// Both variants produce bit-identical results to the SPM-resident kernels
+// for the same seed and size.
+
+/// Staged AXPY: y[i] += a * x[i] over `n` gmem-resident int32 elements.
+/// `chunk` elements per staging step (0 = auto); must divide `n` and be a
+/// multiple of 4 * num_cores.
+Kernel build_axpy_staged(const arch::ClusterConfig& cfg, u32 n, i32 a, bool use_dma,
+                         u32 chunk = 0, u64 seed = 2);
+
+/// Staged dot product of two `n`-element gmem-resident vectors; the result
+/// is accumulated with amoadd into an SPM word (same as `build_dotp`).
+Kernel build_dotp_staged(const arch::ClusterConfig& cfg, u32 n, bool use_dma,
+                         u32 chunk = 0, u64 seed = 3);
+
+/// Staged 3x3 convolution of a gmem-resident `h` x `w` image, streamed in
+/// bands of `band_rows` output rows (plus halo rows; 0 = auto). `h` must be
+/// a multiple of the band height.
+Kernel build_conv2d_staged(const arch::ClusterConfig& cfg, u32 h, u32 w,
+                           const std::array<i32, 9>& kernel3x3, bool use_dma,
+                           u32 band_rows = 0, u64 seed = 4);
+
+/// Group-parallel DMA stream: each group's leader copies its slice of an
+/// `n`-word gmem buffer into the SPM `rounds` times through its own group
+/// engines. The backbone of the `dma_group_scaling` bandwidth bench.
+Kernel build_memcpy_dma(const arch::ClusterConfig& cfg, u32 n, u32 rounds = 1,
+                        u64 seed = 5);
+
 }  // namespace mp3d::kernels

@@ -21,7 +21,9 @@ class FakeSpm : public DmaSpmPort {
  public:
   u32 dma_read_spm(u32 addr) override { return words_[addr]; }
   void dma_write_spm(u32 addr, u32 value) override { words_[addr] = value; }
+  void dma_wake_core(u32 core) override { wakes_.push_back(core); }
   std::unordered_map<u32, u32> words_;
+  std::vector<u32> wakes_;  ///< waker ids in completion order
 };
 
 /// Steps gmem + subsystem until idle; returns the cycle the last
@@ -458,6 +460,248 @@ chat:
   EXPECT_EQ(r.counters.get("dma.bytes"), 4U * 256U);
 }
 
+// ------------------------------------------------------- wake on completion
+
+TEST(DmaWake, EngineReportsWakerOnCompletion) {
+  const ClusterConfig cfg = ClusterConfig::mini();
+  GlobalMemory gmem(cfg.gmem_base, cfg.gmem_size, cfg.gmem_bytes_per_cycle,
+                    cfg.gmem_latency);
+  DmaSubsystem dma(cfg);
+  FakeSpm spm;
+  DmaDescriptor d;
+  d.src = cfg.gmem_base;
+  d.dst = 0x2000;
+  d.bytes_per_row = 256;
+  d.rows = 1;
+  d.to_spm = true;
+  d.waker = 3;
+  dma.push(0, d);
+  // No wake before the completion-latency window passes.
+  std::vector<MemResponse> responses;
+  std::vector<u32> refills;
+  for (sim::Cycle cycle = 1; cycle <= 256 / cfg.gmem_bytes_per_cycle; ++cycle) {
+    gmem.step(cycle, responses, refills);
+    dma.step(cycle, gmem, spm);
+  }
+  EXPECT_TRUE(spm.wakes_.empty());
+  const sim::Cycle done = run_until_idle(dma, gmem, spm);
+  EXPECT_EQ(done, 256 / cfg.gmem_bytes_per_cycle + cfg.gmem_latency);
+  ASSERT_EQ(spm.wakes_.size(), 1U);
+  EXPECT_EQ(spm.wakes_[0], 3U);
+}
+
+TEST(DmaWake, NoWakerDescriptorWakesNobody) {
+  const ClusterConfig cfg = ClusterConfig::tiny();
+  GlobalMemory gmem(cfg.gmem_base, cfg.gmem_size, cfg.gmem_bytes_per_cycle,
+                    cfg.gmem_latency);
+  DmaSubsystem dma(cfg);
+  FakeSpm spm;
+  DmaDescriptor d;
+  d.src = cfg.gmem_base;
+  d.dst = 0x2000;
+  d.bytes_per_row = 64;
+  d.rows = 1;
+  d.to_spm = true;
+  dma.push(0, d);
+  run_until_idle(dma, gmem, spm);
+  EXPECT_TRUE(spm.wakes_.empty());
+}
+
+TEST(DmaWake, SleepingCoreWokenExactlyOncePerDescriptor) {
+  // Core 0 launches two descriptors that wake core 1; core 1 sleeps twice
+  // and then reports. Exactly two wakes must be delivered — one per
+  // completion — or core 1 would hang (too few) or leak a token (too many).
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    li t1, 1
+    beq t0, t1, waiter
+    bnez t0, park
+    li t1, DMA_SRC
+    li t2, 0x80020000
+    sw t2, 0(t1)
+    li t1, DMA_DST
+    li t2, 0x2000
+    sw t2, 0(t1)
+    li t1, DMA_LEN
+    li t2, 256
+    sw t2, 0(t1)
+    li t1, DMA_ROWS
+    li t2, 1
+    sw t2, 0(t1)
+    li t1, DMA_WAKE
+    li t2, 1
+    sw t2, 0(t1)
+    li t1, DMA_START
+    sw zero, 0(t1)
+    sw zero, 0(t1)
+park:
+    wfi
+    j park
+waiter:
+    wfi                     # first completion
+    wfi                     # second completion
+    li t1, MARKER
+    li t2, 7
+    sw t2, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.markers.size(), 1U);
+  EXPECT_EQ(r.counters.get("dma.wakes"), 2U);
+  EXPECT_EQ(r.counters.get("dma.wakes_suppressed"), 0U);
+  // A completion cannot beat the off-chip bandwidth: two 256 B descriptors
+  // on the tiny 16 B/cycle channel need at least 32 grant cycles.
+  ASSERT_TRUE(r.marker_cycle(7).has_value());
+  EXPECT_GE(*r.marker_cycle(7), 2 * 256 / cfg.gmem_bytes_per_cycle);
+}
+
+TEST(DmaWake, WaitSleepsWithoutCtrlTraffic) {
+  // The event-driven wait: one status read arms the wake, the core sleeps
+  // through the whole transfer, one re-read confirms the drain. The old
+  // implementation polled kDmaStatus every few cycles, burning a ctrl slot
+  // (and a gmem-arbiter visit for the issuing loop) per iteration.
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  cfg.gmem_bytes_per_cycle = 4;  // 1024 B -> at least 256 busy cycles
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, DMA_SRC
+    li t2, 0x80020000
+    sw t2, 0(t1)
+    li t1, DMA_DST
+    li t2, 0x2000
+    sw t2, 0(t1)
+    li t1, DMA_LEN
+    li t2, 1024
+    sw t2, 0(t1)
+    li t1, DMA_ROWS
+    li t2, 1
+    sw t2, 0(t1)
+    li t1, DMA_WAKE
+    sw zero, 0(t1)          # wake core 0 (self)
+    li t1, DMA_START
+    sw zero, 0(t1)
+    li t1, DMA_STATUS
+wait_loop:
+    lw t2, 0(t1)            # arms the completion wake when nonzero
+    beqz t2, done
+    wfi
+    j wait_loop
+done:
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  // Exactly two status reads: the arming read and the post-wake re-read —
+  // zero ctrl reads between sleep and wake.
+  EXPECT_EQ(r.counters.get("dma.status_reads"), 2U);
+  EXPECT_EQ(r.counters.get("dma.wakes"), 1U);
+  // The waiter really slept through the transfer instead of spinning.
+  EXPECT_GE(r.counters.get("core.wfi_cycles"), 1024U / cfg.gmem_bytes_per_cycle / 2);
+}
+
+TEST(DmaWake, DeterministicCompletionWakeCycle) {
+  // Back-to-back runs of a completion-wake cycle on one cluster are
+  // cycle-identical (also exercises the load_program counter reset).
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, DMA_SRC
+    li t2, 0x80020000
+    sw t2, 0(t1)
+    li t1, DMA_DST
+    li t2, 0x2000
+    sw t2, 0(t1)
+    li t1, DMA_LEN
+    li t2, 512
+    sw t2, 0(t1)
+    li t1, DMA_ROWS
+    li t2, 1
+    sw t2, 0(t1)
+    li t1, DMA_WAKE
+    sw zero, 0(t1)
+    li t1, DMA_START
+    sw zero, 0(t1)
+    li t1, DMA_STATUS
+wait_loop:
+    lw t2, 0(t1)
+    beqz t2, done
+    wfi
+    j wait_loop
+done:
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult first = mp3d::testing::run_asm(cluster, src);
+  const RunResult second = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.counters.get("dma.wakes"), 1U);
+  EXPECT_EQ(second.counters.get("dma.wakes"), 1U);
+}
+
+TEST(DmaWake, OutOfRangeWakerFaults) {
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, DMA_SRC
+    li t2, 0x80020000
+    sw t2, 0(t1)
+    li t1, DMA_DST
+    li t2, 0x2000
+    sw t2, 0(t1)
+    li t1, DMA_LEN
+    li t2, 16
+    sw t2, 0(t1)
+    li t1, DMA_ROWS
+    li t2, 1
+    sw t2, 0(t1)
+    li t1, DMA_WAKE
+    li t2, 57               # only 4 cores exist
+    sw t2, 0(t1)
+    li t1, DMA_START
+    sw zero, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src, 100000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.core_errors[0].find("waker"), std::string::npos);
+}
+
 // ------------------------------------------------------------- end to end
 
 TEST(DmaMatmul, DoubleBufferedBeatsCoreDriven) {
@@ -500,6 +744,33 @@ TEST(DmaMatmul, DoubleBufferedVerifiesOnMini) {
   EXPECT_EQ(r.counters.get("dma.descriptors"),
             // per output tile: 2 loads per chunk (2 chunks) + 1 store
             static_cast<u64>(2 * 2 + 1) * 4);
+}
+
+TEST(DmaMatmul, SpmdGroupParallelIssueOnFourGroups) {
+  // On a 4-group cluster every group's leader stages its own row slice of
+  // each tile through its own engines: 4x the descriptors of the mini run,
+  // with the result still verifying against the host reference.
+  ClusterConfig cfg;
+  cfg.num_groups = 4;
+  cfg.tiles_per_group = 1;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.spm_capacity = KiB(64);
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.validate();
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p), 10'000'000, true);
+  EXPECT_TRUE(r.ok());
+  // Per output tile and leader: 2 slice loads per chunk (2 chunks) + 1
+  // store slice; 4 leaders, 4 output tiles.
+  EXPECT_EQ(r.counters.get("dma.descriptors"), static_cast<u64>(2 * 2 + 1) * 4 * 4);
+  // Every sleeping leader was woken by its completions, never polled awake.
+  EXPECT_GT(r.counters.get("dma.wakes"), 0U);
 }
 
 }  // namespace

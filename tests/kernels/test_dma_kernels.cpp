@@ -1,0 +1,204 @@
+// SPDX-License-Identifier: Apache-2.0
+// DMA-staged DSP kernels: the double-buffered, group-parallel staged
+// variants of axpy/dotp/conv2d must produce bit-identical results to their
+// core-driven staged counterparts (and the host reference) across working
+// sets up to well beyond the SPM capacity, and must be strictly
+// cycle-faster at the paper's 8 B/cycle off-chip bandwidth point.
+#include <gtest/gtest.h>
+
+#include "kernels/runtime.hpp"
+#include "kernels/simple_kernels.hpp"
+#include "testing.hpp"
+
+namespace mp3d::kernels {
+namespace {
+
+using arch::ClusterConfig;
+using arch::RunResult;
+
+ClusterConfig bench_cfg(u32 gmem_bw) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.perfect_icache = true;
+  cfg.gmem_bytes_per_cycle = gmem_bw;
+  return cfg;
+}
+
+ClusterConfig four_group_cfg() {
+  ClusterConfig cfg;
+  cfg.num_groups = 4;
+  cfg.tiles_per_group = 1;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.spm_capacity = KiB(64);
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.validate();
+  return cfg;
+}
+
+/// First gmem allocation of every staged kernel (code reserve = 1 MiB).
+u32 gmem_data_base(const ClusterConfig& cfg) { return cfg.gmem_base + MiB(1); }
+
+constexpr std::array<i32, 9> kTaps = {1, -2, 3, -4, 5, -6, 7, -8, 9};
+
+TEST(DmaKernels, StagedAxpyMatchesCoreDrivenBitExact) {
+  // 8192 elements = 64 KiB of x + y, exceeding the mini cluster's 48 KiB
+  // interleaved SPM region: only the staged kernels can run it at all.
+  for (const u32 n : {256U, 1024U, 8192U}) {
+    const ClusterConfig cfg = ClusterConfig::mini();
+    arch::Cluster dma_cluster(cfg);
+    arch::Cluster core_cluster(cfg);
+    // run_kernel throws if either output mismatches the host reference.
+    const RunResult rd = run_kernel(
+        dma_cluster, build_axpy_staged(cfg, n, -3, /*use_dma=*/true), 50'000'000);
+    const RunResult rc = run_kernel(
+        core_cluster, build_axpy_staged(cfg, n, -3, /*use_dma=*/false), 50'000'000);
+    ASSERT_TRUE(rd.ok());
+    ASSERT_TRUE(rc.ok());
+    EXPECT_GT(rd.counters.get("dma.bytes"), 0U) << "n=" << n;
+    EXPECT_EQ(rc.counters.get("dma.bytes"), 0U) << "n=" << n;
+    const u32 yb = gmem_data_base(cfg) + n * 4;
+    for (u32 i = 0; i < n; ++i) {
+      ASSERT_EQ(dma_cluster.read_word(yb + i * 4), core_cluster.read_word(yb + i * 4))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(DmaKernels, StagedAxpyMatchesSpmResidentAxpy) {
+  // Same seed and size: the gmem-staged kernels compute exactly what the
+  // SPM-resident build_axpy computes, word for word.
+  const u32 n = 1024;
+  const ClusterConfig cfg = ClusterConfig::mini();
+  arch::Cluster staged_cluster(cfg);
+  arch::Cluster spm_cluster(cfg);
+  ASSERT_TRUE(run_kernel(staged_cluster, build_axpy_staged(cfg, n, 7, true), 50'000'000)
+                  .ok());
+  ASSERT_TRUE(run_kernel(spm_cluster, build_axpy(cfg, n, 7), 50'000'000).ok());
+  const u32 staged_y = gmem_data_base(cfg) + n * 4;
+  SpmAllocator probe(cfg);
+  probe.alloc(static_cast<u64>(n) * 4);  // x
+  const u32 spm_y = probe.alloc(static_cast<u64>(n) * 4);
+  for (u32 i = 0; i < n; ++i) {
+    ASSERT_EQ(staged_cluster.read_word(staged_y + i * 4),
+              spm_cluster.read_word(spm_y + i * 4))
+        << "i=" << i;
+  }
+}
+
+TEST(DmaKernels, StagedDotpMatchesCoreDrivenBitExact) {
+  for (const u32 n : {256U, 1024U, 8192U}) {
+    const ClusterConfig cfg = ClusterConfig::mini();
+    arch::Cluster dma_cluster(cfg);
+    arch::Cluster core_cluster(cfg);
+    const RunResult rd =
+        run_kernel(dma_cluster, build_dotp_staged(cfg, n, true), 50'000'000);
+    const RunResult rc =
+        run_kernel(core_cluster, build_dotp_staged(cfg, n, false), 50'000'000);
+    ASSERT_TRUE(rd.ok());
+    ASSERT_TRUE(rc.ok());
+    // The accumulator is the first SPM allocation of both variants.
+    const u32 acc = SpmAllocator(cfg).alloc(4);
+    EXPECT_EQ(dma_cluster.read_word(acc), core_cluster.read_word(acc)) << "n=" << n;
+  }
+}
+
+TEST(DmaKernels, StagedConvMatchesCoreDrivenBitExact) {
+  // 64 x 128 image: in + out = 64 KiB, again beyond the mini SPM.
+  struct Shape {
+    u32 h, w, r;
+  };
+  for (const Shape s : {Shape{16, 32, 4}, Shape{32, 64, 8}, Shape{64, 128, 16}}) {
+    const ClusterConfig cfg = ClusterConfig::mini();
+    arch::Cluster dma_cluster(cfg);
+    arch::Cluster core_cluster(cfg);
+    const RunResult rd = run_kernel(
+        dma_cluster, build_conv2d_staged(cfg, s.h, s.w, kTaps, true, s.r), 50'000'000);
+    const RunResult rc = run_kernel(
+        core_cluster, build_conv2d_staged(cfg, s.h, s.w, kTaps, false, s.r), 50'000'000);
+    ASSERT_TRUE(rd.ok());
+    ASSERT_TRUE(rc.ok());
+    const u32 outg = gmem_data_base(cfg) + s.h * s.w * 4;
+    for (u32 i = 0; i < s.h * s.w; ++i) {
+      ASSERT_EQ(dma_cluster.read_word(outg + i * 4), core_cluster.read_word(outg + i * 4))
+          << s.h << "x" << s.w << " i=" << i;
+    }
+  }
+}
+
+TEST(DmaKernels, DmaStagedStrictlyFasterAt8BytesPerCycle) {
+  // The acceptance gate: at the paper's 8 B/cycle point the double-buffered
+  // DMA staging overlaps every chunk fill with compute, so each kernel must
+  // beat its phase-barriered core-driven counterpart outright.
+  const ClusterConfig cfg = bench_cfg(8);
+  const auto cycles = [&cfg](const Kernel& k) {
+    arch::Cluster cluster(cfg);
+    const RunResult r = run_kernel(cluster, k, 100'000'000);
+    EXPECT_TRUE(r.ok()) << k.name;
+    return r.cycles;
+  };
+  const u64 axpy_dma = cycles(build_axpy_staged(cfg, 4096, 5, true, 1024));
+  const u64 axpy_core = cycles(build_axpy_staged(cfg, 4096, 5, false, 1024));
+  EXPECT_LT(axpy_dma, axpy_core);
+  const u64 dotp_dma = cycles(build_dotp_staged(cfg, 4096, true, 1024));
+  const u64 dotp_core = cycles(build_dotp_staged(cfg, 4096, false, 1024));
+  EXPECT_LT(dotp_dma, dotp_core);
+  const u64 conv_dma = cycles(build_conv2d_staged(cfg, 32, 64, kTaps, true, 8));
+  const u64 conv_core = cycles(build_conv2d_staged(cfg, 32, 64, kTaps, false, 8));
+  EXPECT_LT(conv_dma, conv_core);
+}
+
+TEST(DmaKernels, StagedKernelsVerifyOnFourGroups) {
+  // The SPMD path proper: four leaders, each staging its slice through its
+  // own group's engines. Every descriptor count below is 4x the single
+  // leader's share, and run_kernel's host-reference verify catches any
+  // barrier/wake interaction (a completion wake pulled into the barrier's
+  // wfi corrupts the drained slices).
+  const ClusterConfig cfg = four_group_cfg();
+  {
+    arch::Cluster cluster(cfg);
+    const RunResult r = run_kernel(
+        cluster, build_axpy_staged(cfg, 1024, -3, /*use_dma=*/true, 256), 50'000'000);
+    ASSERT_TRUE(r.ok());
+    // Per leader: 2 prologue loads + 2 prefetches x 3 chunks + 4 stores.
+    EXPECT_EQ(r.counters.get("dma.descriptors"), static_cast<u64>(2 + 6 + 4) * 4);
+  }
+  {
+    arch::Cluster cluster(cfg);
+    const RunResult r =
+        run_kernel(cluster, build_dotp_staged(cfg, 1024, true, 256), 50'000'000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.counters.get("dma.descriptors"), static_cast<u64>(2 + 6) * 4);
+  }
+  {
+    // band_rows = 8 < 16 cores: the leaders of groups 2 and 3 compute no
+    // band rows, reach the barrier first and sleep there — the regression
+    // shape for a prefetch completion waking a core out of the barrier.
+    arch::Cluster cluster(cfg);
+    const RunResult r = run_kernel(
+        cluster, build_conv2d_staged(cfg, 16, 32, kTaps, true, 8), 50'000'000);
+    ASSERT_TRUE(r.ok());
+    // Per leader: 1 prologue load + 1 prefetch + 2 band stores.
+    EXPECT_EQ(r.counters.get("dma.descriptors"), static_cast<u64>(1 + 1 + 2) * 4);
+  }
+  {
+    arch::Cluster cluster(cfg);
+    const RunResult r = run_kernel(cluster, build_memcpy_dma(cfg, 4096, 2), 50'000'000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.counters.get("dma.descriptors"), static_cast<u64>(2) * 4);
+  }
+}
+
+TEST(DmaKernels, MemcpyDmaStreamsAndVerifies) {
+  const ClusterConfig cfg = ClusterConfig::mini();
+  arch::Cluster cluster(cfg);
+  const u32 n = 4096;
+  const u32 rounds = 3;
+  const RunResult r = run_kernel(cluster, build_memcpy_dma(cfg, n, rounds), 50'000'000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.counters.get("dma.bytes"), static_cast<u64>(n) * 4 * rounds);
+  EXPECT_EQ(r.counters.get("dma.descriptors"), rounds);  // one leader on mini
+}
+
+}  // namespace
+}  // namespace mp3d::kernels

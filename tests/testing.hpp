@@ -38,6 +38,7 @@ inline std::string ctrl_prelude(const arch::ClusterConfig& cfg) {
   s += ".equ DMA_ROWS, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaRows) + "\n";
   s += ".equ DMA_START, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStart) + "\n";
   s += ".equ DMA_STATUS, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStatus) + "\n";
+  s += ".equ DMA_WAKE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaWake) + "\n";
   return s;
 }
 
