@@ -3,7 +3,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -11,9 +16,31 @@
 
 namespace mp3d::bench {
 
+/// Directory bench CSVs land in: $MP3D_BENCH_OUT if set, otherwise the
+/// directory of the running binary (the build tree — never the source
+/// tree, so generated data cannot end up committed), falling back to the
+/// working directory.
+inline std::string out_dir() {
+  if (const char* env = std::getenv("MP3D_BENCH_OUT")) {
+    return env;
+  }
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    std::string path(buf, static_cast<std::size_t>(n));
+    const auto slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0) {
+      return path.substr(0, slash);
+    }
+  }
+#endif
+  return ".";
+}
+
 /// Save CSV next to the binary and report where.
 inline void save_csv(const CsvWriter& csv, const std::string& name) {
-  const std::string path = name + ".csv";
+  const std::string path = out_dir() + "/" + name + ".csv";
   if (csv.save(path)) {
     std::printf("[data written to %s]\n", path.c_str());
   }

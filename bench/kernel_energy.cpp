@@ -1,0 +1,204 @@
+// SPDX-License-Identifier: Apache-2.0
+// Simulation-driven kernel energy/EDP sweep: {matmul, conv2d, axpy, dotp,
+// memcpy} x {core-driven, DMA-staged} x {2D, 3D}. Each kernel pair is
+// simulated once on the paper-shape 1 MiB cluster at the paper's 8 B/cycle
+// off-chip point (the simulator is flow-agnostic); the measured event
+// counters are then costed under the 2D and 3D operating points through
+// the src/power/ energy model, making efficiency a first-class output of
+// every run.
+//
+// The run doubles as an acceptance gate (exit nonzero on violation):
+//   1. every DMA-staged kernel has strictly lower energy AND strictly
+//      lower EDP than its core-driven twin, under both flows;
+//   2. at equal capacity, 3D beats 2D on on-die energy and EDP for every
+//      run (Figure 8/9 direction);
+//   3. the matmul's simulation-derived 3D-over-2D efficiency gain agrees
+//      with core::CoExplorer's analytical Figure 8 gain within
+//      kEnergyCrossCheckTolerance (the documented tolerance; measured error is
+//      ~1 percentage point, see README).
+//
+// Usage: kernel_energy [--smoke]
+//   --smoke: smaller workloads, same cluster shape and gates (CTest run).
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/coexplore.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/simple_kernels.hpp"
+#include "power/report.hpp"
+
+using namespace mp3d;
+
+namespace {
+
+using core::kEnergyCrossCheckTolerance;
+
+struct RunRow {
+  std::string kernel;
+  std::string variant;  ///< "core" or "dma"
+  arch::RunResult result;
+  power::EnergyReport r2d;
+  power::EnergyReport r3d;
+};
+
+arch::ClusterConfig bench_cfg() {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(1));
+  cfg.gmem_bytes_per_cycle = 8;  // the paper's representative DDR point
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const arch::ClusterConfig cfg = bench_cfg();
+  const power::OperatingPoint op_2d = power::make_operating_point(cfg, phys::Flow::k2D);
+  const power::OperatingPoint op_3d = power::make_operating_point(cfg, phys::Flow::k3D);
+  const power::EnergyModel em_2d = power::derive_energy_model(op_2d);
+  const power::EnergyModel em_3d = power::derive_energy_model(op_3d);
+  std::printf("cluster: %u cores, %llu KiB SPM, %u B/cycle gmem\n", cfg.num_cores(),
+              static_cast<unsigned long long>(cfg.spm_capacity / KiB(1)),
+              cfg.gmem_bytes_per_cycle);
+  std::printf("2D: %s\n3D: %s\n\n", em_2d.to_string().c_str(), em_3d.to_string().c_str());
+
+  // ---- workloads -------------------------------------------------------------
+  const u32 tile = smoke ? 32 : 64;         // matmul SPM tile dim
+  const u32 n = smoke ? 8192 : 16384;       // axpy/dotp/memcpy elements
+  const u32 chunk = smoke ? 2048 : 4096;
+  const u32 conv_h = smoke ? 128 : 256;
+  const u32 conv_w = smoke ? 32 : 64;
+  const u32 band = smoke ? 32 : 64;
+  const std::array<i32, 9> taps = {1, -2, 3, -4, 5, -6, 7, -8, 9};
+  kernels::MatmulParams mp;
+  mp.m = 2 * tile;  // two k-chunks per tile: the double-buffer overlap window
+  mp.t = tile;
+
+  struct Pair {
+    const char* name;
+    kernels::Kernel core;
+    kernels::Kernel dma;
+  };
+  std::vector<Pair> pairs;
+  pairs.push_back({"matmul", kernels::build_matmul(cfg, mp),
+                   kernels::build_matmul_dma(cfg, mp)});
+  pairs.push_back({"conv2d",
+                   kernels::build_conv2d_staged(cfg, conv_h, conv_w, taps, false, band),
+                   kernels::build_conv2d_staged(cfg, conv_h, conv_w, taps, true, band)});
+  pairs.push_back({"axpy", kernels::build_axpy_staged(cfg, n, 5, false, chunk),
+                   kernels::build_axpy_staged(cfg, n, 5, true, chunk)});
+  pairs.push_back({"dotp", kernels::build_dotp_staged(cfg, n, false, chunk),
+                   kernels::build_dotp_staged(cfg, n, true, chunk)});
+  pairs.push_back({"memcpy", kernels::build_memcpy(cfg, n),
+                   kernels::build_memcpy_dma(cfg, n)});
+
+  // ---- simulate and account ---------------------------------------------------
+  arch::Cluster cluster(cfg);
+  std::vector<RunRow> rows;
+  for (const Pair& pair : pairs) {
+    for (const auto& [variant, kernel] : {std::pair<const char*, const kernels::Kernel*>{
+                                              "core", &pair.core},
+                                          {"dma", &pair.dma}}) {
+      RunRow row;
+      row.kernel = pair.name;
+      row.variant = variant;
+      row.result = kernels::run_kernel(cluster, *kernel, 500'000'000, true);
+      row.r2d = power::account(row.result.counters, em_2d, op_2d);
+      row.r3d = power::account(row.result.counters, em_3d, op_3d);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // ---- report -----------------------------------------------------------------
+  Table table(std::string("simulation-derived kernel energy/EDP") +
+              (smoke ? " (smoke)" : "") + " [1 MiB cluster, 8 B/cycle gmem]");
+  table.header({"kernel", "variant", "cycles", "E2D uJ", "E3D uJ", "P2D mW", "P3D mW",
+                "EDP2D nJ*s", "EDP3D nJ*s", "3D eff gain"});
+  CsvWriter csv;
+  {
+    std::vector<std::string> header{"kernel", "variant", "op", "cycles", "freq_ghz",
+                                    "runtime_us", "total_uj", "cluster_uj", "power_mw",
+                                    "edp_nj_s"};
+    for (const auto& [component, nj] : rows.front().r2d.components()) {
+      (void)nj;
+      header.push_back(component + "_nj");
+    }
+    csv.header(header);
+  }
+  for (const RunRow& row : rows) {
+    const double gain = row.r2d.cluster_nj() / row.r3d.cluster_nj() - 1.0;
+    table.row({row.kernel, row.variant, fmt_count(static_cast<double>(row.result.cycles)),
+               fmt_fixed(row.r2d.total_nj() * 1e-3, 1),
+               fmt_fixed(row.r3d.total_nj() * 1e-3, 1),
+               fmt_fixed(row.r2d.avg_power_mw(), 0), fmt_fixed(row.r3d.avg_power_mw(), 0),
+               fmt_norm(row.r2d.edp_nj_us() * 1e-6, 3),
+               fmt_norm(row.r3d.edp_nj_us() * 1e-6, 3), fmt_pct(gain)});
+    for (const power::EnergyReport* r : {&row.r2d, &row.r3d}) {
+      std::vector<std::string> cells{
+          row.kernel,
+          row.variant,
+          r->op_name,
+          std::to_string(r->cycles),
+          fmt_norm(r->freq_ghz, 3),
+          fmt_norm(r->runtime_ns * 1e-3, 3),
+          fmt_norm(r->total_nj() * 1e-3, 3),
+          fmt_norm(r->cluster_nj() * 1e-3, 3),
+          fmt_norm(r->avg_power_mw(), 1),
+          fmt_norm(r->edp_nj_us() * 1e-6, 4)};
+      for (const auto& [component, nj] : r->components()) {
+        (void)component;
+        cells.push_back(fmt_norm(nj, 1));
+      }
+      csv.row(cells);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // ---- gates ------------------------------------------------------------------
+  bool ok = true;
+  const auto fail = [&ok](const std::string& what) {
+    std::printf("GATE FAILED: %s\n", what.c_str());
+    ok = false;
+  };
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const RunRow& core = rows[i];
+    const RunRow& dma = rows[i + 1];
+    for (const auto& [r_core, r_dma] : {std::pair<const power::EnergyReport*,
+                                                  const power::EnergyReport*>{
+                                            &core.r2d, &dma.r2d},
+                                        {&core.r3d, &dma.r3d}}) {
+      if (!(r_dma->total_nj() < r_core->total_nj())) {
+        fail(core.kernel + " (" + r_core->op_name + "): DMA energy not lower");
+      }
+      if (!(r_dma->edp_nj_us() < r_core->edp_nj_us())) {
+        fail(core.kernel + " (" + r_core->op_name + "): DMA EDP not lower");
+      }
+    }
+  }
+  for (const RunRow& row : rows) {
+    if (!(row.r3d.cluster_nj() < row.r2d.cluster_nj())) {
+      fail(row.kernel + "/" + row.variant + ": 3D on-die energy not below 2D");
+    }
+    if (!(row.r3d.cluster_edp_nj_us() < row.r2d.cluster_edp_nj_us())) {
+      fail(row.kernel + "/" + row.variant + ": 3D EDP not below 2D");
+    }
+  }
+  // Cross-check the matmul (core-driven, rows[0]) against Figure 8.
+  const core::CoExplorer explorer;
+  const core::EnergyCrossCheck check =
+      explorer.cross_check_energy(rows.front().result, cfg);
+  std::printf("matmul 3D-over-2D efficiency gain: sim %+.1f %%, Fig. 8 model %+.1f %% "
+              "(|err| %.1f pp, tolerance %.0f pp)\n",
+              check.sim_gain * 100, check.model_gain * 100, check.abs_error() * 100,
+              kEnergyCrossCheckTolerance * 100);
+  if (check.abs_error() > kEnergyCrossCheckTolerance) {
+    fail("matmul efficiency gain disagrees with CoExplorer beyond tolerance");
+  }
+
+  bench::save_csv(csv, smoke ? "kernel_energy_smoke" : "kernel_energy");
+  std::printf("all energy/EDP gates: %s\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

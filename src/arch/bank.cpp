@@ -14,6 +14,16 @@ std::optional<MemResponse> SpmBank::serve(sim::Cycle now) {
   BankRequest request = std::move(queue_.front());
   queue_.pop_front();
   ++accesses_;
+  // Array activation accounting: loads read, stores write, AMOs and lr/sc
+  // do both (the bank reads the old word and writes the new one).
+  if (isa::is_amo(request.req.op)) {
+    ++reads_;
+    ++writes_;
+  } else if (isa::is_store(request.req.op)) {
+    ++writes_;
+  } else {
+    ++reads_;
+  }
   if (now > request.req.ready_at) {
     ++conflicts_;
     conflict_wait_cycles_ += now - request.req.ready_at;

@@ -49,6 +49,12 @@ class SpmBank {
   std::optional<MemResponse> serve(sim::Cycle now);
 
   u64 accesses() const { return accesses_; }
+  /// Array-read / array-write activations (the SRAM events energy models
+  /// account for). A load is one read, a store one write; AMOs and lr/sc
+  /// activate the array twice (read-modify-write), so reads + writes can
+  /// exceed accesses.
+  u64 reads() const { return reads_; }
+  u64 writes() const { return writes_; }
   u64 conflict_wait_cycles() const { return conflict_wait_cycles_; }
   u64 conflicts() const { return conflicts_; }
 
@@ -58,6 +64,8 @@ class SpmBank {
     queue_.clear();
     reservations_.clear();
     accesses_ = 0;
+    reads_ = 0;
+    writes_ = 0;
     conflicts_ = 0;
     conflict_wait_cycles_ = 0;
   }
@@ -71,6 +79,8 @@ class SpmBank {
   // write from another core.
   std::vector<std::pair<u32, u16>> reservations_;
   u64 accesses_ = 0;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
   u64 conflicts_ = 0;
   u64 conflict_wait_cycles_ = 0;
 };

@@ -53,6 +53,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
   dma_ = std::make_unique<DmaSubsystem>(cfg_);
   dma_stage_.resize(cfg_.num_cores());
   dma_wake_armed_.assign(cfg_.num_cores(), 0);
+  dma_wait_target_.assign(cfg_.num_cores(), 0);
   const u32 tiles = cfg_.num_tiles();
   banks_.reserve(static_cast<std::size_t>(tiles) * cfg_.banks_per_tile);
   for (u32 b = 0; b < cfg_.num_banks(); ++b) {
@@ -116,9 +117,11 @@ void Cluster::load_program(const isa::Program& program) {
   dma_->reset();
   std::fill(dma_stage_.begin(), dma_stage_.end(), DmaStage{});
   std::fill(dma_wake_armed_.begin(), dma_wake_armed_.end(), 0);
+  std::fill(dma_wait_target_.begin(), dma_wait_target_.end(), 0);
   dma_wakes_ = 0;
   dma_wakes_suppressed_ = 0;
   dma_status_reads_ = 0;
+  dma_retired_reads_ = 0;
   activity_ = 0;
   last_activity_value_ = 0;
   last_activity_cycle_ = 0;
@@ -517,6 +520,33 @@ void Cluster::ctrl_access(const MemRequest& request) {
         resp.rdata = dma_stage_[request.core].wake;
       }
       break;
+    case ctrl::kDmaTicket:
+      if (is_write) {
+        cores_[request.core]->fault("write to the read-only DMA ticket register");
+        return;
+      }
+      resp.rdata = static_cast<u32>(dma_->issued(core_group(request.core)));
+      break;
+    case ctrl::kDmaWaitId:
+      if (is_write) {
+        dma_wait_target_[request.core] = request.wdata;
+      } else {
+        resp.rdata = dma_wait_target_[request.core];
+      }
+      break;
+    case ctrl::kDmaRetired:
+      if (is_write) {
+        cores_[request.core]->fault("write to the read-only DMA retired register");
+        return;
+      }
+      resp.rdata = static_cast<u32>(dma_->retired(core_group(request.core)));
+      // Arm the completion wake iff the staged ticket is still in flight:
+      // the reader is headed for wfi and the retiring descriptor's wake
+      // must not be suppressed, exactly as for a nonzero kDmaStatus read.
+      dma_wake_armed_[request.core] =
+          resp.rdata < dma_wait_target_[request.core] ? 1 : 0;
+      ++dma_retired_reads_;
+      break;
     default:
       cores_[request.core]->fault("access to undefined ctrl register offset " +
                                   std::to_string(offset));
@@ -646,14 +676,20 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
     cores_[i]->add_counters(result.counters);
   }
   u64 bank_accesses = 0;
+  u64 bank_reads = 0;
+  u64 bank_writes = 0;
   u64 bank_conflicts = 0;
   u64 bank_wait = 0;
   for (const SpmBank& bank : banks_) {
     bank_accesses += bank.accesses();
+    bank_reads += bank.reads();
+    bank_writes += bank.writes();
     bank_conflicts += bank.conflicts();
     bank_wait += bank.conflict_wait_cycles();
   }
   result.counters.set("bank.accesses", bank_accesses);
+  result.counters.set("bank.reads", bank_reads);
+  result.counters.set("bank.writes", bank_writes);
   result.counters.set("bank.conflicts", bank_conflicts);
   result.counters.set("bank.conflict_wait_cycles", bank_wait);
   for (const auto& icache : icaches_) {
@@ -665,6 +701,7 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
   result.counters.set("dma.wakes", dma_wakes_);
   result.counters.set("dma.wakes_suppressed", dma_wakes_suppressed_);
   result.counters.set("dma.status_reads", dma_status_reads_);
+  result.counters.set("dma.retired_reads", dma_retired_reads_);
   result.counters.set("cycles", cycle_);
   return result;
 }

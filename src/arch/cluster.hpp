@@ -69,6 +69,18 @@ inline constexpr u32 kDmaRows = 0x38;    ///< RW: row count (1 = 1D transfer)
 inline constexpr u32 kDmaStart = 0x3C;   ///< W: launch the staged descriptor
 inline constexpr u32 kDmaStatus = 0x40;  ///< R: outstanding descriptors (group)
 inline constexpr u32 kDmaWake = 0x44;    ///< RW: waker core id (kDmaNoWaker = off)
+// Descriptor-granular completion tracking: every started descriptor gets a
+// sequential per-group ticket (1, 2, ...); kDmaTicket reads the ticket of
+// the group's most recently started descriptor, kDmaRetired the group's
+// in-order retired watermark (every ticket <= it has completed, engine
+// count notwithstanding). To wait for a specific descriptor, software
+// stages its ticket in kDmaWaitId and then reads kDmaRetired in a wfi
+// loop: the read arms the completion wake iff watermark < staged ticket,
+// mirroring kDmaStatus's precise token accounting. Tickets are u32 on the
+// register interface; a run is assumed not to issue 2^32 descriptors.
+inline constexpr u32 kDmaTicket = 0x48;   ///< R: last started ticket (group)
+inline constexpr u32 kDmaWaitId = 0x4C;   ///< RW: ticket armed against
+inline constexpr u32 kDmaRetired = 0x50;  ///< R: in-order retired watermark
 }  // namespace ctrl
 
 struct RunResult {
@@ -189,11 +201,15 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   };
   std::vector<DmaStage> dma_stage_;
   /// Completion-wake arming: set when the core's last kDmaStatus read was
-  /// nonzero (it is about to wfi), cleared when a wake is delivered.
+  /// nonzero (it is about to wfi), or its last kDmaRetired read was below
+  /// its staged kDmaWaitId ticket; cleared when a wake is delivered.
   std::vector<u8> dma_wake_armed_;
+  /// Per-core staged kDmaWaitId ticket (descriptor-granular waits).
+  std::vector<u32> dma_wait_target_;
   u64 dma_wakes_ = 0;             ///< completion wakes delivered
   u64 dma_wakes_suppressed_ = 0;  ///< completions whose waker was busy/unarmed
   u64 dma_status_reads_ = 0;      ///< kDmaStatus reads (poll-traffic witness)
+  u64 dma_retired_reads_ = 0;     ///< kDmaRetired reads
 
   // Bank scheduling: only banks with queued work are visited.
   std::vector<u32> active_banks_;

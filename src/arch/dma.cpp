@@ -8,6 +8,36 @@
 
 namespace mp3d::arch {
 
+void DmaRetireTracker::note_retired(u64 ticket) {
+  if (ticket != watermark_ + 1) {
+    parked_.push_back(ticket);  // a lower ticket is still in flight
+    return;
+  }
+  ++watermark_;
+  // Drain parked retirements that have become contiguous. The parked set
+  // is bounded by the group's total descriptor-queue depth, so the
+  // quadratic drain is over a handful of entries.
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (std::size_t i = 0; i < parked_.size(); ++i) {
+      if (parked_[i] == watermark_ + 1) {
+        ++watermark_;
+        parked_[i] = parked_.back();
+        parked_.pop_back();
+        advanced = true;
+        break;
+      }
+    }
+  }
+}
+
+void DmaRetireTracker::reset() {
+  issued_ = 0;
+  watermark_ = 0;
+  parked_.clear();
+}
+
 DmaEngine::DmaEngine(const DmaConfig& cfg, u32 gmem_latency)
     : max_outstanding_(cfg.max_outstanding),
       port_bytes_per_cycle_(cfg.bytes_per_cycle),
@@ -39,10 +69,14 @@ void DmaEngine::move_word(const DmaDescriptor& d, u32 word_index, GlobalMemory& 
   }
 }
 
-u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
+u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
+                    DmaRetireTracker& tracker) {
   while (!completing_.empty() && completing_.front().done_at <= now) {
     // The descriptor leaves the pending count this cycle; this is the
-    // moment software can observe completion, so the wake fires here.
+    // moment software can observe completion, so the retired watermark
+    // advances first and the wake fires after it (a woken waiter must see
+    // the updated count on its next ctrl read).
+    tracker.note_retired(completing_.front().ticket);
     if (completing_.front().waker != kDmaNoWaker) {
       spm.dma_wake_core(completing_.front().waker);
     }
@@ -72,7 +106,7 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
       ++moved_words_;
     }
     if (granted_bytes_ == current_.total_bytes()) {
-      completing_.push_back(Completion{now + gmem_latency_, current_.waker});
+      completing_.push_back(Completion{now + gmem_latency_, current_.waker, current_.ticket});
       ++descriptors_completed_;
       active_ = false;
     }
@@ -93,6 +127,7 @@ DmaSubsystem::DmaSubsystem(const ClusterConfig& cfg)
   for (u32 i = 0; i < num_groups_ * engines_per_group_; ++i) {
     engines_.emplace_back(cfg_, gmem_latency_);
   }
+  trackers_.resize(num_groups_);
   dispatch_rr_.assign(num_groups_, 0);
 }
 
@@ -106,6 +141,7 @@ bool DmaSubsystem::can_accept(u32 group) const {
 }
 
 void DmaSubsystem::push(u32 group, DmaDescriptor descriptor) {
+  descriptor.ticket = trackers_[group].next_ticket();
   for (u32 i = 0; i < engines_per_group_; ++i) {
     const u32 e = (dispatch_rr_[group] + i) % engines_per_group_;
     DmaEngine& engine = engines_[group * engines_per_group_ + e];
@@ -132,7 +168,8 @@ u32 DmaSubsystem::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
   const u32 n = static_cast<u32>(engines_.size());
   u32 moved = 0;
   for (u32 i = 0; i < n; ++i) {
-    moved += engines_[(step_rr_ + i) % n].step(now, gmem, spm);
+    const u32 e = (step_rr_ + i) % n;
+    moved += engines_[e].step(now, gmem, spm, trackers_[e / engines_per_group_]);
   }
   step_rr_ = n == 0 ? 0 : (step_rr_ + 1) % n;
   if (moved > 0) {
@@ -151,6 +188,9 @@ void DmaSubsystem::reset() {
   for (u32 i = 0; i < num_groups_ * engines_per_group_; ++i) {
     engines_.emplace_back(cfg_, gmem_latency_);
   }
+  for (DmaRetireTracker& tracker : trackers_) {
+    tracker.reset();
+  }
   std::fill(dispatch_rr_.begin(), dispatch_rr_.end(), 0);
   step_rr_ = 0;
   busy_cycles_ = 0;
@@ -164,8 +204,13 @@ void DmaSubsystem::add_counters(sim::CounterSet& counters) const {
     bytes += e.bytes_moved();
     descriptors += e.descriptors_completed();
   }
+  u64 retired = 0;
+  for (const DmaRetireTracker& tracker : trackers_) {
+    retired += tracker.watermark();
+  }
   counters.set("dma.bytes", bytes);
   counters.set("dma.descriptors", descriptors);
+  counters.set("dma.retired", retired);
   counters.set("dma.busy_cycles", busy_cycles_);
   counters.set("dma.queue_full_stall_cycles", queue_full_stall_cycles_);
 }

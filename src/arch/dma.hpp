@@ -66,8 +66,32 @@ struct DmaDescriptor {
   bool to_spm = true;     ///< gmem -> SPM (load) or SPM -> gmem (store)
   u16 core = 0;           ///< issuing core (accounting)
   u32 waker = kDmaNoWaker;  ///< core to wake on completion (kDmaNoWaker = none)
+  u64 ticket = 0;         ///< per-group sequential id (assigned at dispatch)
 
   u64 total_bytes() const { return static_cast<u64>(bytes_per_row) * rows; }
+};
+
+/// Per-group retirement bookkeeping for descriptor-granular waits.
+/// Descriptors receive sequential tickets (1, 2, ...) at dispatch; the
+/// watermark is the highest ticket T such that every descriptor with
+/// ticket <= T has retired (left the pending count). With several engines
+/// per group descriptors can retire out of issue order, so out-of-order
+/// retirements are parked until the gap closes — software that waits for
+/// `watermark >= T` therefore knows descriptor T *and everything issued
+/// before it* is done, regardless of engine count.
+class DmaRetireTracker {
+ public:
+  u64 next_ticket() { return ++issued_; }
+  u64 issued() const { return issued_; }
+  u64 watermark() const { return watermark_; }
+
+  void note_retired(u64 ticket);
+  void reset();
+
+ private:
+  u64 issued_ = 0;
+  u64 watermark_ = 0;
+  std::vector<u64> parked_;  ///< retired out of order, waiting for the gap
 };
 
 /// One DMA engine: a bounded descriptor queue served in FIFO order.
@@ -84,8 +108,10 @@ class DmaEngine {
 
   /// Advance one cycle; returns bytes granted (progress for deadlock
   /// detection). Must run after GlobalMemory::step so the cycle's scalar
-  /// traffic has first claim on the byte budget.
-  u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm);
+  /// traffic has first claim on the byte budget. Retiring descriptors are
+  /// reported to `tracker` (their group's) before any completion wake.
+  u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
+           DmaRetireTracker& tracker);
 
   bool idle() const { return pending() == 0; }
   u64 bytes_moved() const { return bytes_moved_; }
@@ -102,6 +128,7 @@ class DmaEngine {
   struct Completion {
     sim::Cycle done_at = 0;  ///< cycle the completion latency window passes
     u32 waker = kDmaNoWaker;
+    u64 ticket = 0;
   };
 
   std::deque<DmaDescriptor> queue_;
@@ -132,6 +159,13 @@ class DmaSubsystem {
   /// Aggregate outstanding-descriptor count of `group` (kDmaStatus).
   u32 pending(u32 group) const;
 
+  /// Ticket of the most recently dispatched descriptor of `group`
+  /// (kDmaTicket; 0 = nothing dispatched yet).
+  u64 issued(u32 group) const { return trackers_[group].issued(); }
+  /// In-order retired watermark of `group` (kDmaRetired): every descriptor
+  /// with ticket <= retired(group) has completed.
+  u64 retired(u32 group) const { return trackers_[group].watermark(); }
+
   /// Advance every engine one cycle; returns total bytes granted.
   u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm);
 
@@ -149,6 +183,7 @@ class DmaSubsystem {
   DmaConfig cfg_;
   u32 gmem_latency_;
   std::vector<DmaEngine> engines_;
+  std::vector<DmaRetireTracker> trackers_;  ///< one per group
   std::vector<u32> dispatch_rr_;  ///< per-group round-robin cursor
   u32 step_rr_ = 0;               ///< rotates per-cycle engine service order
   u64 busy_cycles_ = 0;           ///< cycles any engine moved bytes

@@ -49,6 +49,7 @@ bool Interconnect::can_push_response(u32 src_tile, u32 net) const {
 
 void Interconnect::push_request(u32 src_tile, u32 dst_tile, BankRequest&& request) {
   const u32 net = network(src_tile, dst_tile);
+  (net == 0 ? local_hops_ : global_hops_) += 1;
   const bool ok = req_ports_[port_index(src_tile, net)].queue.try_push(
       Flit<BankRequest>{dst_tile, std::move(request)});
   MP3D_ASSERT_MSG(ok, "push_request without can_push_request check");
@@ -56,6 +57,7 @@ void Interconnect::push_request(u32 src_tile, u32 dst_tile, BankRequest&& reques
 
 void Interconnect::push_response(u32 src_tile, u32 dst_tile, MemResponse&& response) {
   const u32 net = network(src_tile, dst_tile);
+  (net == 0 ? local_hops_ : global_hops_) += 1;
   const bool ok = resp_ports_[port_index(src_tile, net)].queue.try_push(
       Flit<MemResponse>{dst_tile, std::move(response)});
   MP3D_ASSERT_MSG(ok, "push_response without can_push_response check");
@@ -125,6 +127,8 @@ void Interconnect::reset_run_state() {
   resp_flits_ = 0;
   req_hol_blocked_ = 0;
   resp_hol_blocked_ = 0;
+  local_hops_ = 0;
+  global_hops_ = 0;
 }
 
 void Interconnect::add_counters(sim::CounterSet& counters) const {
@@ -132,6 +136,8 @@ void Interconnect::add_counters(sim::CounterSet& counters) const {
   counters.set("noc.resp_flits", resp_flits_);
   counters.set("noc.req_hol_blocked", req_hol_blocked_);
   counters.set("noc.resp_hol_blocked", resp_hol_blocked_);
+  counters.set("noc.local_hops", local_hops_);
+  counters.set("noc.global_hops", global_hops_);
 }
 
 }  // namespace mp3d::arch

@@ -98,6 +98,12 @@ class Interconnect {
   u64 resp_flits_ = 0;
   u64 req_hol_blocked_ = 0;
   u64 resp_hol_blocked_ = 0;
+  // Hops per network level (request + response flits combined): local =
+  // intra-group butterfly traversals, global = inter-group network
+  // traversals. The energy model charges each level a different wire
+  // length, so they are counted separately.
+  u64 local_hops_ = 0;
+  u64 global_hops_ = 0;
 };
 
 }  // namespace mp3d::arch

@@ -2,12 +2,16 @@
 #include "core/coexplore.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 #include "kernels/matmul.hpp"
 #include "model/calibration.hpp"
+#include "power/report.hpp"
 
 namespace mp3d::core {
+
+double EnergyCrossCheck::abs_error() const { return std::abs(sim_gain - model_gain); }
 
 CoExplorer::CoExplorer(const CoExploreOptions& options) : options_(options) {
   for (const u64 mib : {1, 2, 4, 8}) {
@@ -90,6 +94,19 @@ double CoExplorer::gain_3d_over_2d_eff(u64 capacity) const {
 
 double CoExplorer::var_3d_over_2d_edp(u64 capacity) const {
   return at(phys::Flow::k3D, capacity).edp / at(phys::Flow::k2D, capacity).edp - 1.0;
+}
+
+EnergyCrossCheck CoExplorer::cross_check_energy(const arch::RunResult& result,
+                                                const arch::ClusterConfig& cfg) const {
+  const power::OperatingPoint op_2d = power::make_operating_point(cfg, phys::Flow::k2D);
+  const power::OperatingPoint op_3d = power::make_operating_point(cfg, phys::Flow::k3D);
+  const power::EnergyReport r_2d = power::account(result, op_2d);
+  const power::EnergyReport r_3d = power::account(result, op_3d);
+  EnergyCrossCheck check;
+  // Efficiency = 1 / energy, so the gain is the inverse energy ratio.
+  check.sim_gain = r_2d.cluster_nj() / r_3d.cluster_nj() - 1.0;
+  check.model_gain = gain_3d_over_2d_eff(cfg.spm_capacity);
+  return check;
 }
 
 }  // namespace mp3d::core

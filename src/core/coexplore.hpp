@@ -10,7 +10,29 @@
 #include "model/matmul_model.hpp"
 #include "phys/flow.hpp"
 
+namespace mp3d::arch {
+struct RunResult;
+struct ClusterConfig;
+}
+
 namespace mp3d::core {
+
+/// Cross-validation of the simulation-driven energy accounting
+/// (`src/power/`) against this analytical model: the same measured matmul
+/// run costed under the 2D and 3D operating points must show a
+/// 3D-over-2D efficiency gain close to the analytical Figure 8 value.
+struct EnergyCrossCheck {
+  double sim_gain = 0.0;    ///< from per-event accounting of the RunResult
+  double model_gain = 0.0;  ///< CoExplorer::gain_3d_over_2d_eff
+  double abs_error() const;
+};
+
+/// The documented |sim_gain - model_gain| bound (absolute efficiency-gain
+/// terms) enforced by bench/kernel_energy and tests/power: 5 percentage
+/// points, vs a measured error of ~1 (see README §energy model). The
+/// residual is structural — the event-based model charges real SRAM/I$
+/// access energy the netlist-average estimation folds into background.
+inline constexpr double kEnergyCrossCheckTolerance = 0.05;
 
 struct OperatingPoint {
   phys::ImplResult impl;
@@ -57,6 +79,15 @@ class CoExplorer {
   const std::vector<std::pair<u64, model::MatmulCalibration>>& calibrations() const {
     return calibrations_;
   }
+
+  /// Cost a simulated matmul run (`result`, measured on the paper-shape
+  /// cluster `cfg`) under the 2D and 3D operating points of
+  /// `cfg.spm_capacity` and compare the resulting on-die efficiency gain
+  /// with the analytical Figure 8 gain at the same capacity. The energies
+  /// compared exclude the off-chip channel, matching the model's
+  /// group-power scope.
+  EnergyCrossCheck cross_check_energy(const arch::RunResult& result,
+                                      const arch::ClusterConfig& cfg) const;
 
  private:
   CoExploreOptions options_;

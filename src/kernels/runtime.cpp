@@ -19,6 +19,11 @@ u32 barrier_counter1_addr(const arch::ClusterConfig& cfg) {
   return barrier_counter0_addr(cfg) + cfg.banks_per_tile * 4;
 }
 
+u32 barrier_sense_addr(const arch::ClusterConfig& cfg) {
+  // Next word along the interleave: a third distinct bank.
+  return barrier_counter0_addr(cfg) + 4;
+}
+
 std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   std::string s;
   s += "# ---- runtime constants (generated) ----\n";
@@ -42,6 +47,7 @@ std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   s += strfmt(".equ LOG2_STACK, %u\n", log2_exact(stack_bytes));
   s += strfmt(".equ BAR_COUNT0, 0x%x\n", barrier_counter0_addr(cfg));
   s += strfmt(".equ BAR_COUNT1, 0x%x\n", barrier_counter1_addr(cfg));
+  s += strfmt(".equ BAR_SENSE, 0x%x\n", barrier_sense_addr(cfg));
   s += strfmt(".equ DMA_SRC, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaSrc);
   s += strfmt(".equ DMA_DST, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaDst);
   s += strfmt(".equ DMA_LEN, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaLen);
@@ -50,6 +56,9 @@ std::string runtime_prelude(const arch::ClusterConfig& cfg) {
   s += strfmt(".equ DMA_START, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStart);
   s += strfmt(".equ DMA_STATUS, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaStatus);
   s += strfmt(".equ DMA_WAKE, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaWake);
+  s += strfmt(".equ DMA_TICKET, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaTicket);
+  s += strfmt(".equ DMA_WAITID, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaWaitId);
+  s += strfmt(".equ DMA_RETIRED, 0x%x\n", cfg.ctrl_base + arch::ctrl::kDmaRetired);
   return s;
 }
 
@@ -80,6 +89,12 @@ _park:
 
 std::string runtime_barrier(const arch::ClusterConfig& cfg) {
   (void)cfg;
+  // Sleepers re-check the global sense word after every wake-up: a wfi can
+  // be released by a *spurious* token (e.g. the completion wake of a DMA
+  // write-back deliberately left in flight across the barrier), and a
+  // robust barrier must absorb it rather than release early. The last
+  // arrival publishes the flipped sense and fences before waking anyone,
+  // so a woken core can never read the stale sense and sleep forever.
   return R"(# ---- central wake-up barrier (generated); clobbers t0-t6 ----
 _barrier:
     fence                         # my stores must be visible past the barrier
@@ -104,11 +119,20 @@ _bar_cnt_sel:
     li t6, NUM_CORES
     bne t5, t6, _bar_sleep
     sw zero, 0(t2)                # last arrival: reset this sense's counter
+    lw t3, 0(t1)                  # the just-flipped sense
+    li t4, BAR_SENSE
+    sw t3, 0(t4)                  # publish the release
+    fence                         # ... and make it visible before any wake
     li t3, WAKE_ALL
     sw t3, 0(t3)                  # wake everyone else
     ret
 _bar_sleep:
+    lw t4, 0(t1)                  # my flipped sense = the release value
+    li t2, BAR_SENSE
+_bar_sleep_loop:
     wfi
+    lw t3, 0(t2)
+    bne t3, t4, _bar_sleep_loop   # spurious token: not released yet
     ret
 )";
 }
@@ -153,6 +177,21 @@ _dma_wait_loop:
     j _dma_wait_loop
 _dma_wait_done:
     ret
+_dma_ticket:
+    li t0, DMA_TICKET
+    lw a0, 0(t0)
+    ret
+_dma_wait_id:
+    li t0, DMA_WAITID
+    sw a0, 0(t0)
+    li t0, DMA_RETIRED
+_dma_wid_loop:
+    lw t1, 0(t0)              # arms the completion wake iff watermark < a0
+    bgeu t1, a0, _dma_wid_done
+    wfi                       # sleep; any retiring group descriptor wakes us
+    j _dma_wid_loop
+_dma_wid_done:
+    ret
 _group_id:
     csrr t0, mhartid
     li a0, CORES_PER_GROUP
@@ -171,6 +210,7 @@ void reset_runtime_state(arch::Cluster& cluster) {
   const arch::ClusterConfig& cfg = cluster.config();
   cluster.write_word(barrier_counter0_addr(cfg), 0);
   cluster.write_word(barrier_counter1_addr(cfg), 0);
+  cluster.write_word(barrier_sense_addr(cfg), 0);
 }
 
 SpmAllocator::SpmAllocator(const arch::ClusterConfig& cfg)

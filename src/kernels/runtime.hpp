@@ -7,12 +7,15 @@
 //   - `barrier`: callable sense-reversing central-counter barrier using
 //     amoadd + wfi/wake-all (MemPool's central barrier scheme). Clobbers
 //     t0–t6 only; safe to call from any core any number of times (SPMD).
+//     Sleepers re-check the global sense word after every wake-up, so a
+//     spurious wake token (e.g. a DMA completion deliberately left in
+//     flight across the barrier) is absorbed instead of releasing early.
 //
 // SPM layout managed by the runtime:
 //   - per-core TLS word at the bottom of each core's stack slice
 //     (sequential region), holding the barrier sense;
 //   - the first `kRuntimeReservedBytes` of the interleaved region hold the
-//     two barrier counters (placed in different banks);
+//     two barrier counters and the global sense word (different banks);
 //   - kernel data is allocated above that via SpmAllocator.
 #pragma once
 
@@ -35,7 +38,8 @@ std::string runtime_crt0(const arch::ClusterConfig& cfg);
 std::string runtime_barrier(const arch::ClusterConfig& cfg);
 
 /// Callable DMA + SPMD helpers driving the per-group engines via the ctrl
-/// registers (clobber t0-t1 only):
+/// registers (clobber t0-t1; `_dma_ticket`/`_dma_wait_id`/`_group_id`/
+/// `_group_leader` also use a0):
 ///   - `_dma_copy_in`:  a0 = gmem src, a1 = SPM dst, a2 = bytes per row,
 ///                      a3 = rows, a4 = gmem row stride; hands the
 ///                      descriptor to one of the *calling core's* group
@@ -47,6 +51,16 @@ std::string runtime_barrier(const arch::ClusterConfig& cfg);
 ///                      sleeping issuer, so no ctrl polling happens while
 ///                      transfers drain. Only the core that issued the
 ///                      descriptors may wait (wakes target the waker core).
+///   - `_dma_ticket`:   a0 = ticket of the group's most recently started
+///                      descriptor (read right after a copy helper to name
+///                      that transfer; sole issuer per group assumed).
+///   - `_dma_wait_id`:  a0 = ticket; sleep until the group's in-order
+///                      retired watermark reaches it, i.e. that descriptor
+///                      and everything issued before it completed — later
+///                      descriptors may still be in flight, which is what
+///                      lets a staged kernel overlap a write-back with the
+///                      next chunk's compute. Same waker restriction as
+///                      `_dma_wait`.
 ///   - `_group_id`:     a0 = calling core's group index.
 ///   - `_group_leader`: a0 = 1 if the caller is its group's first core.
 std::string runtime_dma(const arch::ClusterConfig& cfg);
@@ -54,6 +68,10 @@ std::string runtime_dma(const arch::ClusterConfig& cfg);
 /// Address of the two barrier counters in the interleaved region.
 u32 barrier_counter0_addr(const arch::ClusterConfig& cfg);
 u32 barrier_counter1_addr(const arch::ClusterConfig& cfg);
+/// Address of the barrier's global sense word (the release flag sleepers
+/// re-check after every wake-up, making the barrier immune to spurious
+/// wake tokens from in-flight DMA completions).
+u32 barrier_sense_addr(const arch::ClusterConfig& cfg);
 
 /// Zero the runtime SPM state (barrier counters). Host-side, part of every
 /// kernel's init hook.

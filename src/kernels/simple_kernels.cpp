@@ -530,6 +530,8 @@ main:
     li s1, 0                 # chunk index
 )";
   if (use_dma) {
+    body += "    li s10, 0                # ticket to drain before the barrier\n";
+    body += "    li s11, 0                # ticket of the in-flight write-back\n";
     body += "    beqz s8, ax_pro_done\n";
     body += leader_dma_xfer("s6", "s2", "", true);
     body += leader_dma_xfer("s7", "s3", "", true);
@@ -543,9 +545,16 @@ main:
     li t0, NCHUNK
     bge t2, t0, ax_pref_done
 )";
+    if (cfg.dma.engines_per_group > 1) {
+      // The prefetch overwrites the y buffer the previous write-back still
+      // reads. A single engine serves descriptors in FIFO order, so the
+      // anti-dependence holds for free; with several engines the transfers
+      // can run concurrently, so the write-back must retire first.
+      body += "    mv a0, s11\n    call _dma_wait_id\n";
+    }
     body += leader_dma_xfer("s6", "s4", "CHUNK4", true);
     body += leader_dma_xfer("s7", "s5", "CHUNK4", true);
-    body += "ax_pref_done:\n";
+    body += "    call _dma_ticket\n    mv s10, a0\nax_pref_done:\n";
   } else {
     body += "    # all cores: stage this core's share of the chunk\n";
     body += scalar_share_copy("ax_cpx", "s6", "s2");
@@ -582,18 +591,21 @@ ax_loop:
     bnez t5, ax_loop
 )";
   if (use_dma) {
-    // Leaders must drain their prefetch before the barrier: a descriptor
-    // still naming them as waker would deliver its completion wake into
-    // the *barrier's* wfi and release them early.
+    // Leaders drain the prefetch (descriptor-granular: the previous
+    // chunk's write-back may stay in flight) before the barrier — a
+    // prefetch descriptor still naming them as waker would deliver its
+    // completion wake into the *barrier's* wfi and release them early.
     body += R"(    beqz s8, ax_fill_done
-    call _dma_wait
+    mv a0, s10
+    call _dma_wait_id
 ax_fill_done:
     call _barrier
-    # leaders: drain the computed y slice
+    # leaders: launch the y write-back; it drains while the next chunk
+    # computes and is only waited on before the buffer is reused.
     beqz s8, ax_store_done
 )";
     body += leader_dma_xfer("s7", "s3", "", false);
-    body += "    call _dma_wait\nax_store_done:\n    call _barrier\n";
+    body += "    call _dma_ticket\n    mv s11, a0\nax_store_done:\n";
     body += R"(    mv t0, s2
     mv s2, s4
     mv s4, t0
@@ -612,7 +624,16 @@ ax_fill_done:
     addi s1, s1, 1
     li t0, NCHUNK
     blt s1, t0, ax_chunk_loop
-    li a0, 0
+)";
+  if (use_dma) {
+    // Drain the final write-back before core 0 can report EOC.
+    body += R"(    beqz s8, ax_drain_done
+    call _dma_wait
+ax_drain_done:
+    call _barrier
+)";
+  }
+  body += R"(    li a0, 0
     lw ra, 12(sp)
     addi sp, sp, 16
     ret
@@ -693,6 +714,7 @@ main:
     li s10, 0                # running partial sum
 )";
   if (use_dma) {
+    body += "    li s11, 0                # ticket of the latest prefetch\n";
     body += "    beqz s8, dp_pro_done\n";
     body += leader_dma_xfer("s6", "s2", "", true);
     body += leader_dma_xfer("s7", "s3", "", true);
@@ -707,7 +729,7 @@ main:
 )";
     body += leader_dma_xfer("s6", "s4", "CHUNK4", true);
     body += leader_dma_xfer("s7", "s5", "CHUNK4", true);
-    body += "dp_pref_done:\n";
+    body += "    call _dma_ticket\n    mv s11, a0\ndp_pref_done:\n";
   } else {
     body += scalar_share_copy("dp_cpx", "s6", "s2");
     body += scalar_share_copy("dp_cpy", "s7", "s3");
@@ -728,7 +750,8 @@ dp_loop:
 )";
   if (use_dma) {
     body += R"(    beqz s8, dp_wait_done
-    call _dma_wait
+    mv a0, s11
+    call _dma_wait_id
 dp_wait_done:
     call _barrier
     mv t0, s2
@@ -875,6 +898,7 @@ main:
     li t3, GSLICE_OUT
     mul t3, a0, t3
     sw t3, 36(sp)
+    sw zero, 40(sp)          # ticket of the latest prefetch
     # prologue: each group leader stages its slice of band 0
     lw t0, 28(sp)
     beqz t0, cv_pro_done
@@ -912,6 +936,8 @@ cv_pro_done:
     li a3, 1
     li a4, 0
     call _dma_copy_in
+    call _dma_ticket
+    sw a0, 40(sp)
 cv_pref_done:
 )";
   } else {
@@ -1023,13 +1049,16 @@ cv_band_done:
 )";
   if (use_dma) {
     // As in the staged axpy: finish the prefetch before the barrier so no
-    // completion wake can land in the barrier's wfi.
+    // completion wake can land in the barrier's wfi. The wait is
+    // descriptor-granular — the previous band's write-back keeps draining.
     body += R"(    lw t0, 28(sp)
     beqz t0, cv_fill_done
-    call _dma_wait
+    lw a0, 40(sp)
+    call _dma_wait_id
 cv_fill_done:
     call _barrier
-    # leaders: drain the computed band
+    # leaders: launch the band write-back; it overlaps the next band's
+    # compute (the next [C] wait covers it before the buffer is re-read)
     lw t0, 28(sp)
     beqz t0, cv_out_done
     lw a0, 8(sp)
@@ -1041,9 +1070,7 @@ cv_fill_done:
     li a3, 1
     li a4, 0
     call _dma_copy_out
-    call _dma_wait
 cv_out_done:
-    call _barrier
     # swap the buffer pairs
     lw t0, 4(sp)
     lw t1, 12(sp)
@@ -1100,7 +1127,17 @@ cv_cpo_done:
     sw t0, 0(sp)
     li t1, NBAND
     blt t0, t1, cv_band_loop
-    li a0, 0
+)";
+  if (use_dma) {
+    // Drain the final write-back before core 0 can report EOC.
+    body += R"(    lw t0, 28(sp)
+    beqz t0, cv_drain_done
+    call _dma_wait
+cv_drain_done:
+    call _barrier
+)";
+  }
+  body += R"(    li a0, 0
     lw ra, 44(sp)
     addi sp, sp, 48
     ret

@@ -34,9 +34,12 @@ Kernel build_memcpy(const arch::ClusterConfig& cfg, u32 n, u64 seed = 5);
 // larger than the SPM — by streaming chunks through SPM buffers. With
 // `use_dma` the chunks are double-buffered through the per-group DMA
 // engines: each group's leader core issues its slice of every transfer to
-// its own group's engines (SPMD per-group issue) and sleeps in `_dma_wait`
-// until completion wakes it, so the next chunk's fill overlaps the current
-// chunk's compute. Without `use_dma` the same chunk structure is staged by
+// its own group's engines (SPMD per-group issue) and sleeps until
+// completion wakes it, so the next chunk's fill overlaps the current
+// chunk's compute. Write-backs are launched and *not* waited on — the
+// leader drains them descriptor-granularly (`_dma_wait_id`) only before
+// the buffer is reused, so the store traffic overlaps the next chunk's
+// compute as well. Without `use_dma` the same chunk structure is staged by
 // all cores with scalar copy loops, phase-barriered like `build_matmul` —
 // the core-driven counterpart the DMA variant is benchmarked against.
 // Both variants produce bit-identical results to the SPM-resident kernels

@@ -55,6 +55,11 @@ struct Technology {
   double vdd = 0.90;
   double activity = 0.18;               ///< average toggle rate of logic
   double leak_uw_per_kge = 2.4;
+  /// Off-chip channel energy (DRAM access + PHY + I/O) per byte moved over
+  /// the global-memory interface. The paper idealizes the off-chip side;
+  /// this is a plausible LPDDR-class figure, identical for both flows, so
+  /// it dilutes but never flips 2D-vs-3D comparisons.
+  double gmem_pj_per_byte = 12.0;
 
   // ---- 3D (F2F hybrid bonding, paper §III) -----------------------------------
   double f2f_pitch_um = 10.0;

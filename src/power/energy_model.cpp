@@ -1,0 +1,136 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "power/energy_model.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "phys/netlist.hpp"
+#include "phys/sram.hpp"
+
+namespace mp3d::power {
+namespace {
+
+// ---- model coefficients (documented in README §energy model) ---------------
+
+// SRAM writes swing full bitlines where reads stop at the sense amps.
+constexpr double kSpmWriteFactor = 1.12;
+// DMA engine overhead (sequencer + wide-port muxing) on top of the bank
+// access its word transfer performs.
+constexpr double kDmaPortFactor = 1.05;
+// Per-bit toggle probability of an *active* flit transfer. The phys power
+// model uses a time-averaged wire activity; a counted hop is a real
+// traversal, so roughly half the bus bits flip.
+constexpr double kFlitToggle = 0.5;
+// Average route of a local (tile -> quadrant switch -> tile) hop and of an
+// inter-group hop, as fractions of the group edge length. Matches the
+// geometric wire model of the group flow (stage-1 + stage-2 distances).
+constexpr double kLocalHopLengthFactor = 0.5;
+constexpr double kGlobalHopLengthFactor = 1.0;
+// 3D group routing detours inside the channels (no over-the-tile routing);
+// same figure as the group flow's routed-length detour.
+constexpr double kWireDetour3D = 1.05;
+// Folded 3D stack: shorter clock tree and intra-die wiring lowers switched
+// cell capacitance — the group flow's kCellCapFactor3D.
+constexpr double kCellCapFactor3D = 0.88;
+// Always-on switching of the logic fabric — clock tree, enables, glue —
+// independent of instruction activity (idle/stalled cores keep clocking;
+// this is the "stall-cycle" dynamic floor). Matches the group flow's
+// netlist-average kLogicActivity, so the logic share of a mostly-busy run
+// lines up with the paper-style P&R power estimation.
+constexpr double kLogicBaseActivity = 0.10;
+// Sequential fetches mostly hit the line already latched in the tile's
+// per-core fetch buffer; only this fraction of hits activates the I$ data
+// array.
+constexpr double kIcacheLineBufferFactor = 0.25;
+
+/// Wire capacitance per mm including the repeaters the technology inserts.
+double wire_cap_ff_per_mm(const phys::Technology& tech) {
+  return tech.wire_cap_ff_per_mm +
+         tech.buffer_area_ge * tech.cell_cap_ff_per_ge / tech.buffer_interval_mm;
+}
+
+}  // namespace
+
+std::string EnergyModel::to_string() const {
+  return strfmt(
+      "spm r/w %.2f/%.2f pJ, dma %.2f pJ/word, i$ %.2f/%.2f pJ, "
+      "hop L/G %.2f/%.2f pJ, gmem %.2f pJ/B, instr %.2f pJ, "
+      "leak %.1f mW, bg %.1f mW @ %.2f GHz",
+      spm_read_pj, spm_write_pj, dma_word_pj, icache_hit_pj, icache_refill_pj,
+      noc_local_hop_pj, noc_global_hop_pj, gmem_byte_pj, instr_pj, leakage_mw,
+      background_mw, freq_ghz);
+}
+
+EnergyModel derive_energy_model(const OperatingPoint& op) {
+  const phys::Technology& tech = op.tech;
+  const arch::ClusterConfig& cfg = op.cfg;
+  const bool is_3d = op.flow == phys::Flow::k3D;
+  const double vdd2 = tech.vdd * tech.vdd;
+  const double cell_cap_factor = is_3d ? kCellCapFactor3D : 1.0;
+
+  EnergyModel em;
+  em.freq_ghz = op.freq_ghz;
+
+  // ---- SPM banks ------------------------------------------------------------
+  // The representative bank macro of this capacity, straight from the SRAM
+  // compiler the tile flow used.
+  em.spm_read_pj = op.tile.bank_macro.access_energy_pj;
+  em.spm_write_pj = em.spm_read_pj * kSpmWriteFactor;
+  em.dma_word_pj = em.spm_write_pj * kDmaPortFactor;
+
+  // ---- instruction cache -----------------------------------------------------
+  const phys::SramMacro icache_macro =
+      phys::compile_sram(tech, static_cast<u32>(cfg.icache_size / 4));
+  em.icache_hit_pj = icache_macro.access_energy_pj * kIcacheLineBufferFactor;
+  em.icache_refill_pj = (cfg.icache_line / 4) * icache_macro.access_energy_pj *
+                        kSpmWriteFactor;
+
+  // ---- interconnect hops ------------------------------------------------------
+  // One hop drives a request-or-response bus over the modeled channel
+  // route: wire + repeater capacitance per mm x the route length the group
+  // floorplan implies. 3D pays the channel detour but runs over a smaller
+  // footprint and adds two (nearly free) F2F crossings per hop.
+  const phys::BusWidths buses = phys::bus_widths(cfg);
+  const double bits = (buses.req() + buses.resp()) / 2.0;
+  const double cw = wire_cap_ff_per_mm(tech);
+  const double detour = is_3d ? kWireDetour3D : 1.0;
+  const double f2f_ff = is_3d ? 2.0 * tech.f2f_cap_ff * bits : 0.0;
+  const double local_mm = kLocalHopLengthFactor * op.group.width_mm * detour;
+  const double global_mm = kGlobalHopLengthFactor * op.group.width_mm * detour;
+  em.noc_local_hop_pj =
+      (local_mm * cw * bits + f2f_ff) * kFlitToggle * vdd2 * 1e-3;
+  em.noc_global_hop_pj =
+      (global_mm * cw * bits + f2f_ff) * kFlitToggle * vdd2 * 1e-3;
+
+  // ---- off-chip channel --------------------------------------------------------
+  em.gmem_byte_pj = tech.gmem_pj_per_byte;
+
+  // ---- core datapath ------------------------------------------------------------
+  const phys::TileNetlist tile_nl = phys::tile_netlist(cfg);
+  const double core_ge = tile_nl.cores_ge / cfg.cores_per_tile;
+  em.instr_pj = core_ge * tech.cell_cap_ff_per_ge * cell_cap_factor *
+                tech.activity * vdd2 * 1e-3;
+
+  // ---- static power (scaled to the simulated cluster shape) ----------------------
+  const phys::GroupNetlist group_nl = phys::group_netlist(cfg);
+  const double group_logic_ge =
+      group_nl.total_ge() + op.group.num_buffers * tech.buffer_area_ge;
+  em.leakage_mw =
+      cfg.num_tiles() * (op.tile.logic_leakage_mw + op.tile.sram_leakage_mw) +
+      cfg.num_groups * group_logic_ge / 1e3 * tech.leak_uw_per_kge / 1e3;
+  const double group_kib =
+      static_cast<double>(cfg.spm_capacity) / 1024.0 / cfg.num_groups;
+  const double sram_bg_mw = cfg.num_groups * tech.sram_background_mw_ghz *
+                            std::pow(group_kib, tech.sram_background_exp) *
+                            op.freq_ghz;
+  const double total_logic_ge =
+      cfg.num_tiles() * tile_nl.total_ge() + cfg.num_groups * group_logic_ge;
+  const double clock_mw = total_logic_ge * tech.cell_cap_ff_per_ge *
+                          cell_cap_factor * kLogicBaseActivity * vdd2 *
+                          op.freq_ghz * 1e-3;
+  em.background_mw = sram_bg_mw + clock_mw;
+
+  return em;
+}
+
+}  // namespace mp3d::power

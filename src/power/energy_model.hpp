@@ -1,0 +1,52 @@
+// SPDX-License-Identifier: Apache-2.0
+// Per-event energy model: converts the simulator's microarchitectural
+// event counters into joules under a given operating point. Every figure
+// is *derived* from the phys layer — the SRAM macro compiler (bank and I$
+// access energies, leakage), the technology node (wire/cell capacitance,
+// Vdd, repeater sizing) and the group implementation (channel wire
+// lengths, achieved frequency, F2F bump capacitance) — so the 2D and 3D
+// operating points differ exactly where the physical flows say they do:
+// hop energy (shorter folded-floorplan wires, F2F crossings), frequency,
+// switched cell capacitance, and nothing else.
+//
+// This is the activity-based power estimation the paper performs on its
+// P&R netlists, transplanted onto the cycle-accurate simulator's event
+// stream (RevaMp3D does the same for its 3D system-level studies).
+#pragma once
+
+#include <string>
+
+#include "power/operating_point.hpp"
+
+namespace mp3d::power {
+
+/// Dynamic energies are per *event* in picojoules; static contributions
+/// are cluster-level milliwatts multiplied by runtime during accounting.
+struct EnergyModel {
+  // ---- dynamic, per event [pJ] --------------------------------------------
+  double spm_read_pj = 0.0;       ///< one SPM bank array read
+  double spm_write_pj = 0.0;      ///< one SPM bank array write
+  double dma_word_pj = 0.0;       ///< one word over an engine's wide SPM port
+  double icache_hit_pj = 0.0;     ///< one I$ data-array fetch
+  double icache_refill_pj = 0.0;  ///< one line install (gmem bytes separate)
+  double noc_local_hop_pj = 0.0;  ///< one flit, intra-group butterfly
+  double noc_global_hop_pj = 0.0; ///< one flit, inter-group network
+  double gmem_byte_pj = 0.0;      ///< one byte over the off-chip channel
+  double instr_pj = 0.0;          ///< one retired instruction (core datapath)
+
+  // ---- static, cluster-level [mW] -----------------------------------------
+  double leakage_mw = 0.0;        ///< logic + SRAM leakage, all cycles
+  double background_mw = 0.0;     ///< clock tree + SRAM periphery at freq
+
+  double freq_ghz = 0.0;          ///< operating frequency (runtime conversion)
+
+  std::string to_string() const;
+};
+
+/// Derive the per-event energies for `op`'s implementation. Static terms
+/// are scaled to `op.cfg`'s cluster shape (tiles x groups), so accounting
+/// a scaled-down test cluster does not charge it the full cluster's
+/// leakage.
+EnergyModel derive_energy_model(const OperatingPoint& op);
+
+}  // namespace mp3d::power

@@ -1,0 +1,80 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "power/report.hpp"
+
+#include "arch/cluster.hpp"
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace mp3d::power {
+
+double EnergyReport::total_nj() const {
+  return core_nj + spm_nj + dma_nj + icache_nj + noc_nj + gmem_nj + leakage_nj +
+         background_nj;
+}
+
+double EnergyReport::avg_power_mw() const {
+  // 1 nJ/ns = 1 W = 1000 mW.
+  return runtime_ns == 0.0 ? 0.0 : total_nj() / runtime_ns * 1e3;
+}
+
+double EnergyReport::edp_nj_us() const { return total_nj() * runtime_ns * 1e-3; }
+
+double EnergyReport::cluster_edp_nj_us() const {
+  return cluster_nj() * runtime_ns * 1e-3;
+}
+
+std::vector<std::pair<std::string, double>> EnergyReport::components() const {
+  return {
+      {"core", core_nj},     {"spm", spm_nj},
+      {"dma", dma_nj},       {"icache", icache_nj},
+      {"noc", noc_nj},       {"gmem", gmem_nj},
+      {"leakage", leakage_nj}, {"background", background_nj},
+  };
+}
+
+std::string EnergyReport::to_string() const {
+  std::string s = strfmt(
+      "%s: %llu cycles @ %.3f GHz = %.1f us | %.1f uJ total (%.1f uJ on-die), "
+      "%.0f mW avg, EDP %.2f nJ*s\n",
+      op_name.c_str(), static_cast<unsigned long long>(cycles), freq_ghz,
+      runtime_ns * 1e-3, total_nj() * 1e-3, cluster_nj() * 1e-3, avg_power_mw(),
+      edp_nj_us() * 1e-6);
+  for (const auto& [name, nj] : components()) {
+    s += strfmt("  %-10s %10.1f nJ (%4.1f %%)\n", name.c_str(), nj,
+                total_nj() > 0.0 ? 100.0 * nj / total_nj() : 0.0);
+  }
+  return s;
+}
+
+EnergyReport account(const sim::CounterSet& counters, const EnergyModel& em,
+                     const OperatingPoint& op) {
+  MP3D_CHECK(em.freq_ghz > 0.0, "operating point has no frequency");
+  EnergyReport r;
+  r.op_name = op.name;
+  r.cycles = counters.get("cycles");
+  r.freq_ghz = em.freq_ghz;
+  r.runtime_ns = static_cast<double>(r.cycles) / em.freq_ghz;
+
+  const auto pj = [&](const char* name, double per_event) {
+    return static_cast<double>(counters.get(name)) * per_event * 1e-3;  // -> nJ
+  };
+  r.core_nj = pj("core.instret", em.instr_pj);
+  r.spm_nj = pj("bank.reads", em.spm_read_pj) + pj("bank.writes", em.spm_write_pj);
+  r.dma_nj = static_cast<double>(counters.get("dma.bytes")) / 4.0 * em.dma_word_pj *
+             1e-3;
+  r.icache_nj =
+      pj("icache.hits", em.icache_hit_pj) + pj("icache.misses", em.icache_refill_pj);
+  r.noc_nj = pj("noc.local_hops", em.noc_local_hop_pj) +
+             pj("noc.global_hops", em.noc_global_hop_pj);
+  r.gmem_nj = pj("gmem.bytes", em.gmem_byte_pj);
+  // mW x ns = pJ.
+  r.leakage_nj = em.leakage_mw * r.runtime_ns * 1e-3;
+  r.background_nj = em.background_mw * r.runtime_ns * 1e-3;
+  return r;
+}
+
+EnergyReport account(const arch::RunResult& result, const OperatingPoint& op) {
+  return account(result.counters, derive_energy_model(op), op);
+}
+
+}  // namespace mp3d::power

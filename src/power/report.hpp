@@ -1,0 +1,62 @@
+// SPDX-License-Identifier: Apache-2.0
+// Energy report: a RunResult's counters costed under an operating point.
+// Makes efficiency a first-class simulator output — every kernel run can
+// state its energy, average power and energy-delay product per component,
+// in both the 2D and 3D implementations, from one simulation.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "power/energy_model.hpp"
+#include "sim/counters.hpp"
+
+namespace mp3d::arch {
+struct RunResult;
+}
+
+namespace mp3d::power {
+
+struct EnergyReport {
+  std::string op_name;
+  u64 cycles = 0;
+  double freq_ghz = 0.0;
+  double runtime_ns = 0.0;
+
+  // ---- per-component energies [nJ] ----------------------------------------
+  double core_nj = 0.0;        ///< retired instructions (datapath switching)
+  double spm_nj = 0.0;         ///< bank array reads + writes (core side)
+  double dma_nj = 0.0;         ///< DMA wide-port word transfers (SPM side)
+  double icache_nj = 0.0;      ///< I$ fetches + line installs
+  double noc_nj = 0.0;         ///< local + global interconnect hops
+  double gmem_nj = 0.0;        ///< off-chip channel bytes (incl. DMA bulk)
+  double leakage_nj = 0.0;     ///< leakage x runtime
+  double background_nj = 0.0;  ///< clock + SRAM periphery x runtime
+
+  /// Total including the off-chip channel.
+  double total_nj() const;
+  /// On-die (cluster) energy only — the scope of the paper's Figure 8 and
+  /// of `core::CoExplorer` (group power x runtime excludes the off-chip
+  /// channel, which is identical across flows anyway).
+  double cluster_nj() const { return total_nj() - gmem_nj; }
+
+  double avg_power_mw() const;       ///< total_nj / runtime
+  double edp_nj_us() const;          ///< total energy x runtime [nJ*us]
+  double cluster_edp_nj_us() const;  ///< on-die energy x runtime
+
+  /// (component name, energy nJ) pairs in a fixed order (CSV columns).
+  std::vector<std::pair<std::string, double>> components() const;
+
+  std::string to_string() const;
+};
+
+/// Cost `counters` (which must include a "cycles" entry, as every
+/// RunResult's do) under `em`/`op`.
+EnergyReport account(const sim::CounterSet& counters, const EnergyModel& em,
+                     const OperatingPoint& op);
+
+/// Convenience: derive the model and account a finished run.
+EnergyReport account(const arch::RunResult& result, const OperatingPoint& op);
+
+}  // namespace mp3d::power

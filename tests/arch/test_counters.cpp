@@ -57,6 +57,100 @@ park:
   expect_identical_counters(first, second);
   EXPECT_GT(first.counters.get("gmem.bytes"), 0U);
   EXPECT_GT(first.counters.get("bank.accesses"), 0U);
+  // The read/write split covers the aggregate (AMOs count on both sides).
+  EXPECT_GT(first.counters.get("bank.reads"), 0U);
+  EXPECT_GT(first.counters.get("bank.writes"), 0U);
+  EXPECT_GE(first.counters.get("bank.reads") + first.counters.get("bank.writes"),
+            first.counters.get("bank.accesses"));
+}
+
+TEST(CounterSplit, BankReadsWritesAndAmoDoubleActivation) {
+  // Core 0 performs exactly one load, one store and one AMO against its
+  // local SPM while every other core parks untouched: 2 reads (lw + the
+  // AMO's read phase), 2 writes (sw + the AMO's write phase), 3 accesses.
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.perfect_icache = true;  // no refill traffic in the way
+  Cluster cluster(cfg);
+  const std::string src = mp3d::testing::ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 0x200
+    li t2, 7
+    sw t2, 0(t1)
+    lw t3, 0(t1)
+    amoadd.w t4, t2, (t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.counters.get("bank.accesses"), 3U);
+  EXPECT_EQ(r.counters.get("bank.reads"), 2U);
+  EXPECT_EQ(r.counters.get("bank.writes"), 2U);
+}
+
+TEST(CounterSplit, NocHopsCountedPerNetworkLevel) {
+  // A load from another tile of the same group crosses the local butterfly
+  // (one request + one response flit); with a single group no global
+  // network is ever touched.
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.perfect_icache = true;
+  Cluster cluster(cfg);
+  const std::string src = mp3d::testing::ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 0x1000           # tile 1's sequential region (remote, same group)
+    lw t2, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.counters.get("noc.local_hops"), 2U);
+  EXPECT_EQ(r.counters.get("noc.global_hops"), 0U);
+  EXPECT_EQ(r.counters.get("noc.local_hops") + r.counters.get("noc.global_hops"),
+            r.counters.get("noc.req_flits") + r.counters.get("noc.resp_flits"));
+}
+
+TEST(CounterSplit, InterGroupAccessCountsGlobalHops) {
+  ClusterConfig cfg;
+  cfg.num_groups = 4;
+  cfg.tiles_per_group = 1;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.spm_capacity = KiB(64);
+  cfg.seq_bytes_per_tile = KiB(4);
+  cfg.gmem_size = MiB(16);
+  cfg.perfect_icache = true;
+  cfg.validate();
+  Cluster cluster(cfg);
+  const std::string src = mp3d::testing::ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 0x1000           # tile 1 = group 1: inter-group network
+    lw t2, 0(t1)
+    li t0, EOC
+    sw zero, 0(t0)
+park:
+    wfi
+    j park
+)";
+  const RunResult r = mp3d::testing::run_asm(cluster, src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.counters.get("noc.global_hops"), 2U);
+  EXPECT_EQ(r.counters.get("noc.local_hops"), 0U);
 }
 
 TEST(CounterReset, BackToBackDmaMatmulRunsIdentical) {

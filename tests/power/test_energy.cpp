@@ -1,0 +1,123 @@
+// SPDX-License-Identifier: Apache-2.0
+// Energy accounting: determinism (identical runs -> identical joules),
+// monotonicity (more work -> more energy), full component coverage, the
+// 3D-beats-2D direction, and agreement with the analytical CoExplorer
+// model within the documented tolerance.
+#include <gtest/gtest.h>
+
+#include "core/coexplore.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/runtime.hpp"
+#include "kernels/simple_kernels.hpp"
+#include "power/report.hpp"
+
+namespace mp3d::power {
+namespace {
+
+using arch::ClusterConfig;
+using arch::RunResult;
+
+using core::kEnergyCrossCheckTolerance;
+
+void expect_identical_reports(const EnergyReport& a, const EnergyReport& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.runtime_ns, b.runtime_ns);
+  EXPECT_DOUBLE_EQ(a.core_nj, b.core_nj);
+  EXPECT_DOUBLE_EQ(a.spm_nj, b.spm_nj);
+  EXPECT_DOUBLE_EQ(a.dma_nj, b.dma_nj);
+  EXPECT_DOUBLE_EQ(a.icache_nj, b.icache_nj);
+  EXPECT_DOUBLE_EQ(a.noc_nj, b.noc_nj);
+  EXPECT_DOUBLE_EQ(a.gmem_nj, b.gmem_nj);
+  EXPECT_DOUBLE_EQ(a.leakage_nj, b.leakage_nj);
+  EXPECT_DOUBLE_EQ(a.background_nj, b.background_nj);
+  EXPECT_DOUBLE_EQ(a.total_nj(), b.total_nj());
+  EXPECT_DOUBLE_EQ(a.edp_nj_us(), b.edp_nj_us());
+}
+
+TEST(EnergyAccounting, BackToBackRunsReportIdenticalEnergy) {
+  // Counter determinism (pinned in tests/arch/test_counters.cpp) must
+  // carry through the energy pipeline bit-for-bit.
+  const ClusterConfig cfg = ClusterConfig::mini();
+  const OperatingPoint op = make_operating_point(cfg, phys::Flow::k3D);
+  arch::Cluster cluster(cfg);
+  const kernels::Kernel kernel =
+      kernels::build_axpy_staged(cfg, 2048, -3, /*use_dma=*/true, 512);
+  const RunResult first = kernels::run_kernel(cluster, kernel, 50'000'000);
+  const RunResult second = kernels::run_kernel(cluster, kernel, 50'000'000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  expect_identical_reports(account(first, op), account(second, op));
+}
+
+TEST(EnergyAccounting, EveryComponentIsExercisedByADmaKernel) {
+  const ClusterConfig cfg = ClusterConfig::mini();  // real (non-perfect) I$
+  const OperatingPoint op = make_operating_point(cfg, phys::Flow::k2D);
+  arch::Cluster cluster(cfg);
+  const RunResult r = kernels::run_kernel(
+      cluster, kernels::build_axpy_staged(cfg, 2048, 7, /*use_dma=*/true, 512),
+      50'000'000);
+  ASSERT_TRUE(r.ok());
+  const EnergyReport report = account(r, op);
+  for (const auto& [name, nj] : report.components()) {
+    EXPECT_GT(nj, 0.0) << name;
+  }
+  EXPECT_GT(report.total_nj(), report.cluster_nj());  // gmem traffic costed
+  EXPECT_GT(report.avg_power_mw(), 0.0);
+  EXPECT_GT(report.edp_nj_us(), 0.0);
+}
+
+TEST(EnergyAccounting, EnergyGrowsMonotonicallyWithWorkingSet) {
+  const ClusterConfig cfg = ClusterConfig::mini();
+  const OperatingPoint op = make_operating_point(cfg, phys::Flow::k2D);
+  double previous = 0.0;
+  for (const u32 n : {1024U, 2048U, 4096U}) {
+    arch::Cluster cluster(cfg);
+    const RunResult r = kernels::run_kernel(
+        cluster, kernels::build_axpy_staged(cfg, n, 3, /*use_dma=*/true, 512),
+        50'000'000);
+    ASSERT_TRUE(r.ok());
+    const double total = account(r, op).total_nj();
+    EXPECT_GT(total, previous) << "n=" << n;
+    previous = total;
+  }
+}
+
+TEST(EnergyAccounting, SameRunCostsLessUnder3DAtEqualCapacity) {
+  // The same counters, costed under both flows of one capacity: 3D must
+  // win on-die energy and EDP (frequency up, wire/cell energy down).
+  const ClusterConfig cfg = ClusterConfig::mini();
+  arch::Cluster cluster(cfg);
+  const RunResult r = kernels::run_kernel(
+      cluster, kernels::build_dotp_staged(cfg, 2048, /*use_dma=*/true, 512),
+      50'000'000);
+  ASSERT_TRUE(r.ok());
+  const EnergyReport r2d = account(r, make_operating_point(cfg, phys::Flow::k2D));
+  const EnergyReport r3d = account(r, make_operating_point(cfg, phys::Flow::k3D));
+  EXPECT_LT(r3d.cluster_nj(), r2d.cluster_nj());
+  EXPECT_LT(r3d.cluster_edp_nj_us(), r2d.cluster_edp_nj_us());
+  EXPECT_LT(r3d.runtime_ns, r2d.runtime_ns);
+}
+
+TEST(EnergyAccounting, MatmulGainAgreesWithCoExplorerWithinTolerance) {
+  // The acceptance cross-check: a matmul measured on the paper-shape
+  // 1 MiB cluster, costed under both flows, must reproduce the analytical
+  // Figure 8 efficiency gain within the documented tolerance.
+  arch::ClusterConfig cfg = arch::ClusterConfig::mempool(MiB(1));
+  cfg.gmem_bytes_per_cycle = 8;
+  arch::Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 128;
+  p.t = 64;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul(cfg, p), 500'000'000, true);
+  ASSERT_TRUE(r.ok());
+  const core::CoExplorer explorer;
+  const core::EnergyCrossCheck check = explorer.cross_check_energy(r, cfg);
+  EXPECT_GT(check.sim_gain, 0.0);
+  EXPECT_GT(check.model_gain, 0.0);
+  EXPECT_LE(check.abs_error(), kEnergyCrossCheckTolerance)
+      << "sim " << check.sim_gain << " vs model " << check.model_gain;
+}
+
+}  // namespace
+}  // namespace mp3d::power

@@ -39,6 +39,9 @@ inline std::string ctrl_prelude(const arch::ClusterConfig& cfg) {
   s += ".equ DMA_START, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStart) + "\n";
   s += ".equ DMA_STATUS, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaStatus) + "\n";
   s += ".equ DMA_WAKE, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaWake) + "\n";
+  s += ".equ DMA_TICKET, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaTicket) + "\n";
+  s += ".equ DMA_WAITID, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaWaitId) + "\n";
+  s += ".equ DMA_RETIRED, " + std::to_string(cfg.ctrl_base + arch::ctrl::kDmaRetired) + "\n";
   return s;
 }
 
