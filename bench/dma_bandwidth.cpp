@@ -4,21 +4,23 @@
 // through the cores) against the double-buffered DMA variant (per-group
 // engines stage the next tile while the cores compute on the current one).
 //
-// Reported per bandwidth point: total cycles, speedup, and the effective
-// global-memory bandwidth utilization bytes / (cycles * B_per_cycle). The
-// core-driven kernel is issue-rate limited once the channel gets wide; the
-// DMA engines keep the channel busy through the compute phase, so their
-// utilization stays strictly higher from 16 B/cycle up.
-//
-// Usage: dma_bandwidth [m] [t]   (defaults: 64 16, run on the mini cluster)
-#include <cstdlib>
-
+// One scenario per bandwidth point through the experiment engine; each
+// scenario simulates both variants on its own mini cluster. Reported per
+// point: total cycles, speedup, and the effective global-memory bandwidth
+// utilization bytes / (cycles * B_per_cycle). The core-driven kernel is
+// issue-rate limited once the channel gets wide; the DMA engines keep the
+// channel busy through the compute phase, so the gate requires their
+// utilization to be strictly higher from 16 B/cycle up.
 #include "bench_util.hpp"
+#include "exp/suite.hpp"
 #include "kernels/matmul.hpp"
 
 using namespace mp3d;
 
 namespace {
+
+constexpr u32 kM = 64;
+constexpr u32 kT = 16;
 
 struct Point {
   u64 cycles = 0;
@@ -29,14 +31,14 @@ struct Point {
   }
 };
 
-Point run_variant(u32 bw, u32 m, u32 t, bool use_dma) {
+Point run_variant(u32 bw, bool use_dma) {
   arch::ClusterConfig cfg = arch::ClusterConfig::mini();
   cfg.perfect_icache = true;  // isolate data traffic on the swept channel
   cfg.gmem_bytes_per_cycle = bw;
   arch::Cluster cluster(cfg);
   kernels::MatmulParams p;
-  p.m = m;
-  p.t = t;
+  p.m = kM;
+  p.t = kT;
   const kernels::Kernel kernel =
       use_dma ? kernels::build_matmul_dma(cfg, p) : kernels::build_matmul(cfg, p);
   const arch::RunResult r = kernels::run_kernel(cluster, kernel, 100'000'000);
@@ -46,45 +48,84 @@ Point run_variant(u32 bw, u32 m, u32 t, bool use_dma) {
   return point;
 }
 
+exp::Suite make_suite(const exp::CliOptions&) {
+  exp::Suite suite;
+  suite.name = "dma_bandwidth";
+  suite.title = "DMA vs core-driven matmul (mini cluster, m=" + std::to_string(kM) +
+                ", t=" + std::to_string(kT) + ")";
+
+  exp::SweepGrid grid;
+  grid.axis("bw", std::vector<u64>{4, 8, 16, 32, 64});
+  grid.expand(suite.registry, [](const exp::SweepPoint& p) {
+    const u32 bw = static_cast<u32>(p.u("bw"));
+    exp::Scenario s;
+    s.name = "bw=" + p.str("bw");
+    s.description = "core-driven vs DMA matmul at " + p.str("bw") +
+                    " B/cycle off-chip";
+    s.run = [bw]() {
+      const Point core_driven = run_variant(bw, false);
+      const Point dma = run_variant(bw, true);
+      const double speedup = static_cast<double>(core_driven.cycles) /
+                             static_cast<double>(dma.cycles);
+      exp::ScenarioOutput out;
+      out.metric("bw", bw)
+          .metric("core_cycles", static_cast<double>(core_driven.cycles))
+          .metric("dma_cycles", static_cast<double>(dma.cycles))
+          .metric("speedup", speedup)
+          .metric("core_utilization", core_driven.utilization(bw))
+          .metric("dma_utilization", dma.utilization(bw));
+      exp::Row row;
+      row.cell("bw", static_cast<u64>(bw))
+          .cell("core_cycles", core_driven.cycles)
+          .cell("dma_cycles", dma.cycles)
+          .cell("speedup", speedup, 4)
+          .cell("core_utilization", core_driven.utilization(bw), 4)
+          .cell("dma_utilization", dma.utilization(bw), 4);
+      out.row(std::move(row));
+      return out;
+    };
+    return s;
+  });
+
+  suite.report = [](const exp::SweepReport& report) {
+    Table table("DMA vs core-driven matmul (mini cluster, m=" + std::to_string(kM) +
+                ", t=" + std::to_string(kT) + ")");
+    table.header({"BW [B/cyc]", "core cycles", "DMA cycles", "speedup", "core util",
+                  "DMA util"});
+    for (const exp::ScenarioResult& r : report.results) {
+      if (!r.ok() || r.output.rows.empty()) {
+        continue;
+      }
+      const exp::Row& row = r.output.rows[0];
+      const auto m = [&](const char* key) {
+        return report.metric(r.name, key).value_or(0.0);
+      };
+      table.row({row.get("bw"), row.get("core_cycles"), row.get("dma_cycles"),
+                 fmt_norm(m("speedup"), 3) + "x", fmt_norm(m("core_utilization"), 3),
+                 fmt_norm(m("dma_utilization"), 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  };
+
+  suite.gate("DMA utilization strictly higher at >=16 B/cycle",
+             [](const exp::SweepReport& report) {
+               for (const u64 bw : {16, 32, 64}) {
+                 const std::string name = "bw=" + std::to_string(bw);
+                 const auto core = report.metric(name, "core_utilization");
+                 const auto dma = report.metric(name, "dma_utilization");
+                 if (!core || !dma) {
+                   return name + " did not run";
+                 }
+                 if (!(*dma > *core)) {
+                   return name + ": DMA utilization not higher (" +
+                          fmt_norm(*dma, 3) + " vs " + fmt_norm(*core, 3) + ")";
+                 }
+               }
+               return std::string();
+             });
+  return suite;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const u32 m = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 64;
-  const u32 t = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 16;
-  if (m == 0 || t == 0) {
-    std::fprintf(stderr, "usage: dma_bandwidth [m] [t]  (positive, m a multiple of t)\n");
-    return 2;
-  }
-
-  Table table("DMA vs core-driven matmul (mini cluster, m=" + std::to_string(m) +
-              ", t=" + std::to_string(t) + ")");
-  table.header({"BW [B/cyc]", "core cycles", "DMA cycles", "speedup", "core util",
-                "DMA util"});
-  CsvWriter csv;
-  csv.header({"bw", "core_cycles", "dma_cycles", "speedup", "core_utilization",
-              "dma_utilization"});
-
-  bool dma_wins_from_16 = true;
-  for (const u32 bw : {4U, 8U, 16U, 32U, 64U}) {
-    const Point core_driven = run_variant(bw, m, t, false);
-    const Point dma = run_variant(bw, m, t, true);
-    const double speedup = static_cast<double>(core_driven.cycles) /
-                           static_cast<double>(dma.cycles);
-    table.row({fmt_fixed(bw, 0), std::to_string(core_driven.cycles),
-               std::to_string(dma.cycles), fmt_norm(speedup, 3) + "x",
-               fmt_norm(core_driven.utilization(bw), 3),
-               fmt_norm(dma.utilization(bw), 3)});
-    csv.row({fmt_fixed(bw, 0), std::to_string(core_driven.cycles),
-             std::to_string(dma.cycles), fmt_norm(speedup, 4),
-             fmt_norm(core_driven.utilization(bw), 4),
-             fmt_norm(dma.utilization(bw), 4)});
-    if (bw >= 16 && dma.utilization(bw) <= core_driven.utilization(bw)) {
-      dma_wins_from_16 = false;
-    }
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("DMA double-buffering strictly higher utilization at >=16 B/cycle: %s\n\n",
-              dma_wins_from_16 ? "yes" : "NO");
-  bench::save_csv(csv, "dma_bandwidth");
-  return dma_wins_from_16 ? 0 : 1;
-}
+int main(int argc, char** argv) { return exp::suite_main(argc, argv, make_suite); }

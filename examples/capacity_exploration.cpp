@@ -1,42 +1,82 @@
 // SPDX-License-Identifier: Apache-2.0
-// The paper's architectural argument (Figure 6) end to end: sweep SPM
-// capacity and off-chip bandwidth, evaluate the calibrated matmul cycle
-// model at M = 326400, and show where bigger tiles pay off.
+// The paper's architectural argument (Figure 6) end to end, written as a
+// 20-line experiment-engine registration: sweep SPM capacity and off-chip
+// bandwidth as a declarative SweepGrid, evaluate the calibrated matmul
+// cycle model at M = 326400 in each scenario, and show where bigger tiles
+// pay off. Try `--list`, `--filter cap=8`, `--jobs 4`, `--json`.
 #include <cstdio>
 
+#include "common/table.hpp"
 #include "core/mempool3d.hpp"
+#include "exp/suite.hpp"
 
 using namespace mp3d;
 
-int main() {
-  std::vector<std::pair<u64, model::MatmulCalibration>> calibrations;
-  for (const u64 mib : {1, 2, 4, 8}) {
-    const u32 t = kernels::MatmulParams::paper_tile_dim(MiB(mib));
-    calibrations.emplace_back(MiB(mib), model::default_calibration(t));
-    std::printf("%llu MiB -> t = %u (%s)\n", static_cast<unsigned long long>(mib), t,
-                model::default_calibration(t).to_string().c_str());
-  }
+namespace {
 
-  std::printf("\ncycle counts for C = A x B, M = 326400 (x1e9 cycles):\n");
-  std::printf("%10s", "BW [B/c]");
-  for (const auto& [cap, cal] : calibrations) {
-    std::printf("  %6llu MiB", static_cast<unsigned long long>(cap / MiB(1)));
-  }
-  std::printf("\n");
-  for (const double bw : {4.0, 8.0, 16.0, 32.0, 64.0}) {
-    std::printf("%10.0f", bw);
-    for (const auto& [cap, cal] : calibrations) {
+exp::Suite make_suite(const exp::CliOptions&) {
+  exp::Suite suite;
+  suite.name = "capacity_exploration";
+  suite.title = "cycle counts for C = A x B, M = 326400 (x1e9 cycles)";
+
+  exp::SweepGrid grid;
+  grid.axis("bw", std::vector<u64>{4, 8, 16, 32, 64})
+      .axis("cap_mib", std::vector<u64>{1, 2, 4, 8});
+  grid.expand(suite.registry, [](const exp::SweepPoint& p) {
+    exp::Scenario s;
+    s.name = "bw=" + p.str("bw") + "/cap=" + p.str("cap_mib") + "MiB";
+    s.description = "matmul cycle model at " + p.str("cap_mib") + " MiB, " +
+                    p.str("bw") + " B/cycle";
+    const u64 capacity = MiB(p.u("cap_mib"));
+    const double bw = p.d("bw");
+    s.run = [capacity, bw]() {
+      const u32 t = kernels::MatmulParams::paper_tile_dim(capacity);
       model::MatmulWorkload w;
       w.m = 326400;
-      w.t = cal.t;
+      w.t = t;
       w.bw_bytes_per_cycle = bw;
-      std::printf("  %10.2f", model::matmul_cycles(w, cal).total() / 1e9);
+      const double cycles = model::matmul_cycles(w, model::default_calibration(t)).total();
+      exp::ScenarioOutput out;
+      out.metric("t", t).metric("giga_cycles", cycles / 1e9);
+      out.row(exp::Row()
+                  .cell("bw", fmt_fixed(bw, 0))
+                  .cell("capacity_mib", capacity / MiB(1))
+                  .cell("t", static_cast<u64>(t))
+                  .cell("giga_cycles", cycles / 1e9, 2));
+      return out;
+    };
+    return s;
+  });
+
+  suite.report = [](const exp::SweepReport& report) {
+    std::printf("tile dims: ");
+    for (const u64 mib : {1, 2, 4, 8}) {
+      std::printf("%llu MiB -> t = %u  ", static_cast<unsigned long long>(mib),
+                  kernels::MatmulParams::paper_tile_dim(MiB(mib)));
+    }
+    std::printf("\n\ncycle counts for C = A x B, M = 326400 (x1e9 cycles):\n");
+    std::printf("%10s", "BW [B/c]");
+    for (const u64 mib : {1, 2, 4, 8}) {
+      std::printf("  %6llu MiB", static_cast<unsigned long long>(mib));
     }
     std::printf("\n");
-  }
-
-  std::printf("\neach input element is loaded M/t times: %s\n",
-              "256 -> 1275x, 384 -> 850x, 544 -> 600x, 800 -> 408x");
-  std::printf("bigger SPM = more reuse + longer phases = less static overhead.\n");
-  return 0;
+    for (const u64 bw : {4, 8, 16, 32, 64}) {
+      std::printf("%10llu", static_cast<unsigned long long>(bw));
+      for (const u64 mib : {1, 2, 4, 8}) {
+        const auto c = report.metric("bw=" + std::to_string(bw) + "/cap=" +
+                                         std::to_string(mib) + "MiB",
+                                     "giga_cycles");
+        std::printf("  %10.2f", c.value_or(0.0));
+      }
+      std::printf("\n");
+    }
+    std::printf("\neach input element is loaded M/t times: %s\n",
+                "256 -> 1275x, 384 -> 850x, 544 -> 600x, 800 -> 408x");
+    std::printf("bigger SPM = more reuse + longer phases = less static overhead.\n");
+  };
+  return suite;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return exp::suite_main(argc, argv, make_suite); }

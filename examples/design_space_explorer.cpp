@@ -1,49 +1,120 @@
 // SPDX-License-Identifier: Apache-2.0
-// The full co-exploration (the paper's contribution): implement all eight
-// configurations through the 2D and Macro-3D flows, combine with the
-// workload model, and report the PPA + performance/efficiency landscape.
+// The full co-exploration (the paper's contribution) on the experiment
+// engine: one scenario per {flow} x {capacity} configuration, each
+// implementing through the 2D or Macro-3D flow and combining with the
+// workload model; the report picks the PPA sweet spots as the paper's
+// conclusion does. Try `--list`, `--filter 3D`, `--jobs 4`, `--json`.
 #include <cstdio>
 
+#include "common/table.hpp"
 #include "core/mempool3d.hpp"
+#include "exp/suite.hpp"
 
 using namespace mp3d;
 
-int main() {
-  core::CoExplorer explorer;
+namespace {
 
-  std::printf("%-4s %-6s %10s %9s %9s %10s %10s %9s %9s\n", "flow", "SPM",
-              "fp [mm2]", "f [MHz]", "P [mW]", "run [ms]", "E [mJ]", "perf", "eff");
-  const auto& base = explorer.baseline();
-  for (const core::OperatingPoint& p : explorer.points()) {
-    std::printf("%-4s %-6llu %10.2f %9.0f %9.0f %10.1f %10.1f %8.1f%% %8.1f%%\n",
-                phys::flow_name(p.impl.config.flow),
-                static_cast<unsigned long long>(p.impl.config.spm_capacity / MiB(1)),
-                p.impl.group.footprint_mm2, p.freq_ghz * 1e3, p.power_mw, p.runtime_ms,
-                p.energy_mj, explorer.performance_gain(p) * 100,
-                explorer.efficiency_gain(p) * 100);
-  }
-  std::printf("\nbaseline: 2D 1 MiB, runtime %.1f ms, energy %.1f mJ\n",
-              base.runtime_ms, base.energy_mj);
+exp::Suite make_suite(const exp::CliOptions&) {
+  exp::Suite suite;
+  suite.name = "design_space_explorer";
+  suite.title = "architecture x technology co-exploration (8 configurations)";
 
-  // Pick the sweet spots, as the paper's conclusion does.
-  const core::OperatingPoint* best_perf = &base;
-  const core::OperatingPoint* best_eff = &base;
-  const core::OperatingPoint* best_edp = &base;
-  for (const auto& p : explorer.points()) {
-    if (p.performance > best_perf->performance) best_perf = &p;
-    if (p.efficiency > best_eff->efficiency) best_eff = &p;
-    if (p.edp < best_edp->edp) best_edp = &p;
-  }
-  auto name = [](const core::OperatingPoint& p) {
-    return std::string(phys::flow_name(p.impl.config.flow)) + "-" +
-           std::to_string(p.impl.config.spm_capacity / MiB(1)) + "MiB";
+  exp::SweepGrid grid;
+  grid.axis("flow", std::vector<std::string>{"2D", "3D"})
+      .axis("cap_mib", std::vector<u64>{1, 2, 4, 8});
+  grid.expand(suite.registry, [](const exp::SweepPoint& p) {
+    const phys::Flow flow = p.str("flow") == "3D" ? phys::Flow::k3D : phys::Flow::k2D;
+    const u64 capacity = MiB(p.u("cap_mib"));
+    exp::Scenario s;
+    s.name = p.str("flow") + "-" + p.str("cap_mib") + "MiB";
+    s.description = "co-exploration operating point, " + p.str("flow") + " flow, " +
+                    p.str("cap_mib") + " MiB SPM";
+    s.run = [flow, capacity]() {
+      const core::CoExplorer explorer;
+      const core::OperatingPoint& pt = explorer.at(flow, capacity);
+      exp::ScenarioOutput out;
+      out.metric("footprint_mm2", pt.impl.group.footprint_mm2)
+          .metric("freq_mhz", pt.freq_ghz * 1e3)
+          .metric("power_mw", pt.power_mw)
+          .metric("runtime_ms", pt.runtime_ms)
+          .metric("energy_mj", pt.energy_mj)
+          .metric("performance", pt.performance)
+          .metric("efficiency", pt.efficiency)
+          .metric("edp", pt.edp)
+          .metric("perf_gain", explorer.performance_gain(pt))
+          .metric("eff_gain", explorer.efficiency_gain(pt))
+          .metric("edp_var", explorer.edp_variation(pt));
+      out.row(exp::Row()
+                  .cell("flow", std::string(phys::flow_name(flow)))
+                  .cell("capacity_mib", capacity / MiB(1))
+                  .cell("footprint_mm2", fmt_fixed(pt.impl.group.footprint_mm2, 2))
+                  .cell("freq_mhz", fmt_fixed(pt.freq_ghz * 1e3, 0))
+                  .cell("power_mw", fmt_fixed(pt.power_mw, 0))
+                  .cell("runtime_ms", fmt_fixed(pt.runtime_ms, 1))
+                  .cell("energy_mj", fmt_fixed(pt.energy_mj, 1))
+                  .cell("perf_gain", explorer.performance_gain(pt), 4)
+                  .cell("eff_gain", explorer.efficiency_gain(pt), 4)
+                  .cell("edp_var", explorer.edp_variation(pt), 4));
+      return out;
+    };
+    return s;
+  });
+
+  suite.report = [](const exp::SweepReport& report) {
+    std::printf("%-10s %10s %9s %9s %10s %10s %9s %9s\n", "config", "fp [mm2]",
+                "f [MHz]", "P [mW]", "run [ms]", "E [mJ]", "perf", "eff");
+    for (const exp::ScenarioResult& r : report.results) {
+      if (!r.ok()) {
+        continue;
+      }
+      const auto m = [&](const char* key) {
+        return report.metric(r.name, key).value_or(0.0);
+      };
+      std::printf("%-10s %10.2f %9.0f %9.0f %10.1f %10.1f %8.1f%% %8.1f%%\n",
+                  r.name.c_str(), m("footprint_mm2"), m("freq_mhz"), m("power_mw"),
+                  m("runtime_ms"), m("energy_mj"), m("perf_gain") * 100,
+                  m("eff_gain") * 100);
+    }
+
+    // Pick the sweet spots, as the paper's conclusion does.
+    const exp::ScenarioResult* best_perf = nullptr;
+    const exp::ScenarioResult* best_eff = nullptr;
+    const exp::ScenarioResult* best_edp = nullptr;
+    for (const exp::ScenarioResult& r : report.results) {
+      if (!r.ok()) {
+        continue;
+      }
+      const auto better = [&](const exp::ScenarioResult* cur, const char* key,
+                              bool lower) {
+        if (cur == nullptr) {
+          return true;
+        }
+        const double a = report.metric(r.name, key).value_or(0.0);
+        const double b = report.metric(cur->name, key).value_or(0.0);
+        return lower ? a < b : a > b;
+      };
+      if (better(best_perf, "performance", false)) best_perf = &r;
+      if (better(best_eff, "efficiency", false)) best_eff = &r;
+      if (better(best_edp, "edp", true)) best_edp = &r;
+    }
+    if (best_perf && best_eff && best_edp) {
+      std::printf(
+          "\nfastest: %s (%+.1f %%), most efficient: %s (%+.1f %%), lowest EDP: "
+          "%s (%+.1f %%)\n",
+          best_perf->name.c_str(),
+          report.metric(best_perf->name, "perf_gain").value_or(0.0) * 100,
+          best_eff->name.c_str(),
+          report.metric(best_eff->name, "eff_gain").value_or(0.0) * 100,
+          best_edp->name.c_str(),
+          report.metric(best_edp->name, "edp_var").value_or(0.0) * 100);
+    }
+    std::printf(
+        "(paper: 3D designs win across the board; 3D-1MiB is the efficiency/EDP\n"
+        " optimum, the largest 3D designs are the fastest.)\n");
   };
-  std::printf("fastest: %s (%+.1f %%), most efficient: %s (%+.1f %%), lowest EDP: %s "
-              "(%+.1f %%)\n",
-              name(*best_perf).c_str(), explorer.performance_gain(*best_perf) * 100,
-              name(*best_eff).c_str(), explorer.efficiency_gain(*best_eff) * 100,
-              name(*best_edp).c_str(), explorer.edp_variation(*best_edp) * 100);
-  std::printf("(paper: 3D designs win across the board; 3D-1MiB is the efficiency/EDP\n"
-              " optimum, the largest 3D designs are the fastest.)\n");
-  return 0;
+  return suite;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return exp::suite_main(argc, argv, make_suite); }

@@ -1,0 +1,47 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "exp/scenario.hpp"
+
+#include "common/assert.hpp"
+
+namespace mp3d::exp {
+
+void Registry::add(Scenario scenario) {
+  MP3D_CHECK(!scenario.name.empty(), "scenario name must not be empty");
+  MP3D_CHECK(static_cast<bool>(scenario.run),
+             "scenario " << scenario.name << " has no run function");
+  MP3D_CHECK(!contains(scenario.name),
+             "duplicate scenario name: " << scenario.name);
+  scenarios_.push_back(std::move(scenario));
+}
+
+void Registry::add(std::string name, std::string description,
+                   std::function<ScenarioOutput()> run) {
+  add(Scenario{std::move(name), std::move(description), std::move(run)});
+}
+
+bool Registry::contains(const std::string& name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Scenario> Registry::match(const std::vector<std::string>& filters) const {
+  if (filters.empty()) {
+    return scenarios_;
+  }
+  std::vector<Scenario> out;
+  for (const Scenario& s : scenarios_) {
+    for (const std::string& f : filters) {
+      if (s.name.find(f) != std::string::npos) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mp3d::exp

@@ -1,0 +1,106 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "exp/sweep.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace mp3d::exp {
+
+SweepPoint::SweepPoint(std::vector<std::pair<std::string, std::string>> coords)
+    : coords_(std::move(coords)) {}
+
+const std::string& SweepPoint::str(const std::string& axis) const {
+  for (const auto& [name, value] : coords_) {
+    if (name == axis) {
+      return value;
+    }
+  }
+  MP3D_CHECK(false, "unknown sweep axis: " << axis);
+  static const std::string kEmpty;
+  return kEmpty;  // unreachable
+}
+
+u64 SweepPoint::u(const std::string& axis) const {
+  const std::string& s = str(axis);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  MP3D_CHECK(end != s.c_str() && *end == '\0',
+             "axis " << axis << " value '" << s << "' is not an unsigned integer");
+  return static_cast<u64>(v);
+}
+
+double SweepPoint::d(const std::string& axis) const {
+  const std::string& s = str(axis);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  MP3D_CHECK(end != s.c_str() && *end == '\0',
+             "axis " << axis << " value '" << s << "' is not a number");
+  return v;
+}
+
+std::string SweepPoint::label() const {
+  std::string out;
+  for (const auto& [name, value] : coords_) {
+    if (!out.empty()) {
+      out += '/';
+    }
+    out += name + "=" + value;
+  }
+  return out;
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<std::string> values) {
+  MP3D_CHECK(!values.empty(), "sweep axis " << name << " has no values");
+  for (const auto& [existing, vals] : axes_) {
+    (void)vals;
+    MP3D_CHECK(existing != name, "duplicate sweep axis: " << name);
+  }
+  axes_.emplace_back(std::move(name), std::move(values));
+  return *this;
+}
+
+SweepGrid& SweepGrid::axis(std::string name, const std::vector<u64>& values) {
+  std::vector<std::string> strings;
+  strings.reserve(values.size());
+  for (const u64 v : values) {
+    strings.push_back(std::to_string(v));
+  }
+  return axis(std::move(name), std::move(strings));
+}
+
+std::size_t SweepGrid::size() const {
+  std::size_t n = axes_.empty() ? 0 : 1;
+  for (const auto& [name, values] : axes_) {
+    (void)name;
+    n *= values.size();
+  }
+  return n;
+}
+
+std::vector<SweepPoint> SweepGrid::points() const {
+  std::vector<SweepPoint> out;
+  const std::size_t total = size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    // Row-major: the first axis varies slowest.
+    std::vector<std::pair<std::string, std::string>> coords(axes_.size());
+    std::size_t rest = i;
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      const auto& [name, values] = axes_[a];
+      coords[a] = {name, values[rest % values.size()]};
+      rest /= values.size();
+    }
+    out.emplace_back(std::move(coords));
+  }
+  return out;
+}
+
+void SweepGrid::expand(Registry& registry,
+                       const std::function<Scenario(const SweepPoint&)>& factory) const {
+  for (const SweepPoint& point : points()) {
+    registry.add(factory(point));
+  }
+}
+
+}  // namespace mp3d::exp

@@ -1,0 +1,60 @@
+// SPDX-License-Identifier: Apache-2.0
+// SweepGrid: the declarative cross product behind every paper sweep
+// (kernels x SPM capacity x flow x operating point, ...). Axes expand in
+// row-major order — the first axis varies slowest — into independent
+// SweepPoints, each of which a factory turns into one self-contained
+// Scenario. Expansion order is the registration/reporting order, so sweep
+// output is identical no matter how many threads later run the scenarios.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "exp/scenario.hpp"
+
+namespace mp3d::exp {
+
+/// One grid coordinate: the value of every axis, by axis name.
+class SweepPoint {
+ public:
+  SweepPoint(std::vector<std::pair<std::string, std::string>> coords);
+
+  /// Axis value as text; throws std::invalid_argument for an unknown axis.
+  const std::string& str(const std::string& axis) const;
+  u64 u(const std::string& axis) const;       ///< parsed as unsigned
+  double d(const std::string& axis) const;    ///< parsed as double
+
+  /// "axis1=v1/axis2=v2/..." — the default scenario-name suffix.
+  std::string label() const;
+
+  const std::vector<std::pair<std::string, std::string>>& coords() const {
+    return coords_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> coords_;
+};
+
+class SweepGrid {
+ public:
+  /// Append an axis (varies faster than every axis added before it).
+  /// Throws on duplicate axis names or empty value lists.
+  SweepGrid& axis(std::string name, std::vector<std::string> values);
+  SweepGrid& axis(std::string name, const std::vector<u64>& values);
+
+  /// The full cross product in row-major order.
+  std::vector<SweepPoint> points() const;
+
+  /// Expand every point through `factory` and register the scenarios.
+  void expand(Registry& registry,
+              const std::function<Scenario(const SweepPoint&)>& factory) const;
+
+  std::size_t size() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes_;
+};
+
+}  // namespace mp3d::exp

@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: Apache-2.0
 #include "kernels/matmul.hpp"
 
+#include <atomic>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -100,8 +101,10 @@ std::string emit_marker(const std::string& id_sym, bool enabled) {
   if (!enabled) {
     return "";
   }
-  static int unique = 0;  // label disambiguator across expansions
-  const std::string skip = "mm_mrk_" + std::to_string(unique++);
+  // Label disambiguator across expansions; atomic so kernel builders can
+  // run on experiment-engine worker threads concurrently.
+  static std::atomic<int> unique{0};
+  const std::string skip = "mm_mrk_" + std::to_string(unique.fetch_add(1));
   return "    bnez s0, " + skip + "\n    li t0, MARKER\n    li t1, " + id_sym +
          "\n    sw t1, 0(t0)\n" + skip + ":\n";
 }

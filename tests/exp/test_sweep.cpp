@@ -1,0 +1,170 @@
+// SPDX-License-Identifier: Apache-2.0
+// Experiment engine: SweepGrid expansion, scenario registry, and the
+// SweepRunner's central contract — the same grid run with --jobs 1 and
+// --jobs 8 produces identical result rows and byte-identical CSV output,
+// no matter how the worker threads interleave.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/row.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+
+namespace mp3d::exp {
+namespace {
+
+TEST(SweepGrid, ExpandsRowMajorFirstAxisSlowest) {
+  SweepGrid grid;
+  grid.axis("cap", std::vector<u64>{1, 2}).axis("bw", {"4", "8", "16"});
+  ASSERT_EQ(grid.size(), 6u);
+  const std::vector<SweepPoint> points = grid.points();
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].label(), "cap=1/bw=4");
+  EXPECT_EQ(points[1].label(), "cap=1/bw=8");
+  EXPECT_EQ(points[2].label(), "cap=1/bw=16");
+  EXPECT_EQ(points[3].label(), "cap=2/bw=4");
+  EXPECT_EQ(points[5].label(), "cap=2/bw=16");
+}
+
+TEST(SweepGrid, TypedAxisAccess) {
+  SweepGrid grid;
+  grid.axis("cap", std::vector<u64>{8}).axis("scale", {"2.5"});
+  const SweepPoint p = grid.points()[0];
+  EXPECT_EQ(p.u("cap"), 8u);
+  EXPECT_DOUBLE_EQ(p.d("scale"), 2.5);
+  EXPECT_EQ(p.str("cap"), "8");
+  EXPECT_THROW(p.str("nope"), std::invalid_argument);
+  EXPECT_THROW(p.u("scale"), std::invalid_argument);  // "2.5" is not unsigned
+}
+
+TEST(SweepGrid, RejectsDuplicateAndEmptyAxes) {
+  SweepGrid grid;
+  grid.axis("a", {"1"});
+  EXPECT_THROW(grid.axis("a", {"2"}), std::invalid_argument);
+  EXPECT_THROW(grid.axis("b", std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Registry, RejectsDuplicateNames) {
+  Registry registry;
+  registry.add("a", "first", [] { return ScenarioOutput(); });
+  EXPECT_THROW(registry.add("a", "again", [] { return ScenarioOutput(); }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("", "anonymous", [] { return ScenarioOutput(); }),
+               std::invalid_argument);
+}
+
+TEST(Registry, FilterMatchesSubstrings) {
+  Registry registry;
+  for (const char* name : {"fig8/1MiB", "fig8/2MiB", "fig9/1MiB"}) {
+    registry.add(name, "", [] { return ScenarioOutput(); });
+  }
+  EXPECT_EQ(registry.match({}).size(), 3u);
+  EXPECT_EQ(registry.match({"fig8"}).size(), 2u);
+  EXPECT_EQ(registry.match({"1MiB"}).size(), 2u);
+  EXPECT_EQ(registry.match({"fig9", "2MiB"}).size(), 2u);
+  EXPECT_TRUE(registry.match({"zzz"}).empty());
+}
+
+/// Scenarios with deliberately inverted run times: the first-registered
+/// scenario sleeps longest, so under >1 worker thread later scenarios
+/// finish first and any order dependence on completion time would show.
+std::vector<Scenario> jittered_scenarios(std::size_t n) {
+  std::vector<Scenario> scenarios;
+  for (std::size_t i = 0; i < n; ++i) {
+    Scenario s;
+    s.name = "s" + std::to_string(i);
+    s.description = "jittered scenario " + std::to_string(i);
+    s.run = [i, n]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * (n - i)));
+      ScenarioOutput out;
+      out.metric("index", static_cast<double>(i))
+          .metric("square", static_cast<double>(i * i));
+      out.row(Row()
+                  .cell("name", "s" + std::to_string(i))
+                  .cell("square", static_cast<u64>(i * i)));
+      return out;
+    };
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+TEST(SweepRunner, ResultsInRegistrationOrderRegardlessOfJobs) {
+  const std::vector<Scenario> scenarios = jittered_scenarios(9);
+  for (const u32 jobs : {1u, 4u, 8u}) {
+    RunnerOptions options;
+    options.jobs = jobs;
+    const SweepReport report = run_sweep(scenarios, options);
+    ASSERT_EQ(report.results.size(), 9u);
+    EXPECT_EQ(report.failures(), 0u);
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      std::string expected = "s";
+      expected += std::to_string(i);
+      EXPECT_EQ(report.results[i].name, expected);
+      EXPECT_EQ(report.metric(report.results[i].name, "index"),
+                static_cast<double>(i));
+    }
+  }
+}
+
+TEST(SweepRunner, CsvBytesIdenticalAcrossJobCounts) {
+  const std::vector<Scenario> scenarios = jittered_scenarios(12);
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 8;
+  const std::string csv_1 = rows_to_csv(run_sweep(scenarios, serial).rows());
+  const std::string csv_8 = rows_to_csv(run_sweep(scenarios, parallel).rows());
+  EXPECT_EQ(csv_1, csv_8);
+  EXPECT_NE(csv_1.find("name,square"), std::string::npos);
+}
+
+TEST(SweepRunner, CapturesScenarioExceptions) {
+  std::vector<Scenario> scenarios = jittered_scenarios(3);
+  Scenario bad;
+  bad.name = "bad";
+  bad.description = "always throws";
+  bad.run = []() -> ScenarioOutput {
+    throw std::runtime_error("deliberate failure");
+  };
+  scenarios.insert(scenarios.begin() + 1, std::move(bad));
+
+  RunnerOptions options;
+  options.jobs = 4;
+  const SweepReport report = run_sweep(scenarios, options);
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.failures(), 1u);
+  const ScenarioResult* failed = report.find("bad");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_FALSE(failed->ok());
+  EXPECT_EQ(failed->error, "deliberate failure");
+  EXPECT_EQ(report.metric("bad", "index"), std::nullopt);
+  // The failure affects neither its neighbours nor the ordering.
+  EXPECT_EQ(report.results[0].name, "s0");
+  EXPECT_EQ(report.results[1].name, "bad");
+  EXPECT_EQ(report.results[2].name, "s1");
+  EXPECT_TRUE(report.results[2].ok());
+}
+
+TEST(SweepReport, MetricLookup) {
+  Registry registry;
+  registry.add("only", "", [] {
+    ScenarioOutput out;
+    out.metric("x", 42.0);
+    return out;
+  });
+  RunnerOptions options;
+  options.jobs = 1;
+  const SweepReport report = run_sweep(registry.scenarios(), options);
+  EXPECT_EQ(report.metric("only", "x"), 42.0);
+  EXPECT_EQ(report.metric("only", "missing"), std::nullopt);
+  EXPECT_EQ(report.metric("absent", "x"), std::nullopt);
+  EXPECT_EQ(report.find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace mp3d::exp
