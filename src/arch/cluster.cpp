@@ -49,7 +49,8 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
   cfg_.validate();
   noc_ = std::make_unique<Interconnect>(cfg_);
   gmem_ = std::make_unique<GlobalMemory>(cfg_.gmem_base, cfg_.gmem_size,
-                                         cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency);
+                                         cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency,
+                                         cfg_.gmem_arbiter);
   dma_ = std::make_unique<DmaSubsystem>(cfg_);
   dma_stage_.resize(cfg_.num_cores());
   dma_wake_armed_.assign(cfg_.num_cores(), 0);
@@ -597,9 +598,11 @@ void Cluster::step() {
   ++cycle_;
 
   // 1. Global memory: bandwidth-limited service; completions this cycle.
+  // The DMA engines' aggregate backlog is handed to the channel arbiter so
+  // a nonzero bulk guarantee reserves bytes only while bulk demand exists.
   gmem_responses_.clear();
   gmem_refills_.clear();
-  gmem_->step(cycle_, gmem_responses_, gmem_refills_);
+  gmem_->step(cycle_, gmem_responses_, gmem_refills_, dma_->backlog_bytes());
   for (const u32 token : gmem_refills_) {
     const auto [tile, line_addr] = refill_slots_[token];
     icaches_[tile]->finish_refill(line_addr);

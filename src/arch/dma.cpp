@@ -52,6 +52,7 @@ void DmaEngine::push(DmaDescriptor descriptor) {
   MP3D_CHECK(descriptor.bytes_per_row > 0 && descriptor.bytes_per_row % 4 == 0,
              "DMA row length must be a positive multiple of 4");
   MP3D_CHECK(descriptor.rows >= 1, "DMA descriptor needs at least one row");
+  backlog_bytes_ += descriptor.total_bytes();
   queue_.push_back(descriptor);
 }
 
@@ -101,6 +102,7 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
     granted_bytes_ += got;
     granted_total += got;
     port_budget -= got;
+    backlog_bytes_ -= got;
     while (static_cast<u64>(moved_words_ + 1) * 4 <= granted_bytes_) {
       move_word(current_, moved_words_, gmem, spm);
       ++moved_words_;
@@ -176,6 +178,14 @@ u32 DmaSubsystem::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
     ++busy_cycles_;  // subsystem-level: never exceeds elapsed cycles
   }
   return moved;
+}
+
+u64 DmaSubsystem::backlog_bytes() const {
+  u64 total = 0;
+  for (const DmaEngine& e : engines_) {
+    total += e.backlog_bytes();
+  }
+  return total;
 }
 
 bool DmaSubsystem::idle() const {

@@ -106,6 +106,13 @@ class DmaEngine {
   /// completion-latency window). This is what software polls as kDmaStatus.
   u32 pending() const;
 
+  /// Channel bytes this engine still wants: the active descriptor's
+  /// ungranted remainder plus every queued descriptor. Descriptors in the
+  /// completion-latency window claim nothing and do not count. Maintained
+  /// incrementally (push adds, grants subtract) — Cluster::step reads it
+  /// every cycle for the channel arbiter's demand signal.
+  u64 backlog_bytes() const { return backlog_bytes_; }
+
   /// Advance one cycle; returns bytes granted (progress for deadlock
   /// detection). Must run after GlobalMemory::step so the cycle's scalar
   /// traffic has first claim on the byte budget. Retiring descriptors are
@@ -136,6 +143,7 @@ class DmaEngine {
   DmaDescriptor current_;
   u64 granted_bytes_ = 0;  ///< channel bytes claimed for `current_`
   u32 moved_words_ = 0;    ///< words functionally moved for `current_`
+  u64 backlog_bytes_ = 0;  ///< ungranted bytes across queue_ + current_
   std::deque<Completion> completing_;  ///< descriptors awaiting latency
 
   u64 bytes_moved_ = 0;
@@ -168,6 +176,10 @@ class DmaSubsystem {
 
   /// Advance every engine one cycle; returns total bytes granted.
   u32 step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm);
+
+  /// Aggregate channel-byte backlog of every engine — the bulk-demand
+  /// signal the gmem bounded-share arbiter reserves against.
+  u64 backlog_bytes() const;
 
   bool idle() const;
   void reset();

@@ -7,8 +7,19 @@
 
 namespace mp3d::arch {
 
-GlobalMemory::GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency)
-    : base_(base), size_(size), bytes_per_cycle_(bytes_per_cycle), latency_(latency) {}
+namespace {
+/// Writer id used for functional stores (host backdoor, DMA bulk words):
+/// not a core, so it clobbers every reservation on the written word.
+constexpr u16 kFunctionalWriter = 0xFFFF;
+}  // namespace
+
+GlobalMemory::GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency,
+                           GmemArbiterConfig arbiter)
+    : base_(base),
+      size_(size),
+      bytes_per_cycle_(bytes_per_cycle),
+      latency_(latency),
+      arbiter_(arbiter) {}
 
 u32& GlobalMemory::word_ref(u32 addr) {
   MP3D_ASSERT_MSG(addr >= base_ && static_cast<u64>(addr) - base_ < size_,
@@ -33,9 +44,24 @@ u32 GlobalMemory::word_at(u32 addr) const {
   return it->second[word % kPageWords];
 }
 
+void GlobalMemory::clobber_reservations(u32 word_addr, u16 writer) {
+  if (reservations_.empty()) {
+    return;  // the overwhelmingly common case: no LR in flight
+  }
+  reservations_.erase(
+      std::remove_if(reservations_.begin(), reservations_.end(),
+                     [&](const auto& r) {
+                       return r.first == word_addr && r.second != writer;
+                     }),
+      reservations_.end());
+}
+
 u32 GlobalMemory::read_word(u32 addr) const { return word_at(addr & ~3U); }
 
-void GlobalMemory::write_word(u32 addr, u32 value) { word_ref(addr & ~3U) = value; }
+void GlobalMemory::write_word(u32 addr, u32 value) {
+  clobber_reservations(addr & ~3U, kFunctionalWriter);
+  word_ref(addr & ~3U) = value;
+}
 
 void GlobalMemory::write_block(u32 addr, const std::vector<u32>& words) {
   for (std::size_t i = 0; i < words.size(); ++i) {
@@ -46,7 +72,6 @@ void GlobalMemory::write_block(u32 addr, const std::vector<u32>& words) {
 void GlobalMemory::enqueue(const MemRequest& request, sim::Cycle /*now*/) {
   Item item;
   item.is_refill = false;
-  item.bytes = request.size == MemSize::kWord ? 4 : (request.size == MemSize::kHalf ? 2 : 1);
   // The off-chip port moves whole words; sub-word accesses still occupy a
   // word slot on the bus.
   item.bytes = 4;
@@ -64,7 +89,8 @@ void GlobalMemory::enqueue_refill(u32 token, u32 bytes, sim::Cycle /*now*/) {
 
 u32 GlobalMemory::amo_or_access(const MemRequest& req) {
   using isa::Op;
-  u32& word = word_ref(req.addr & ~3U);
+  const u32 word_addr = req.addr & ~3U;
+  u32& word = word_ref(word_addr);
   const u32 shift = (req.addr & 3U) * 8;
   switch (req.op) {
     case Op::kLb:
@@ -86,22 +112,43 @@ u32 GlobalMemory::amo_or_access(const MemRequest& req) {
     case Op::kLw:
     case Op::kPLwPost:
     case Op::kPLwRPost:
-    case Op::kLrW:
       return word;
+    case Op::kLrW: {
+      // One reservation per core: re-registering moves it to this word.
+      std::erase_if(reservations_, [&](const auto& r) { return r.second == req.core; });
+      reservations_.emplace_back(word_addr, req.core);
+      return word;
+    }
     case Op::kSb: {
       const u32 mask = 0xFFU << shift;
       word = (word & ~mask) | ((req.wdata & 0xFFU) << shift);
+      clobber_reservations(word_addr, req.core);
       return 0;
     }
     case Op::kSh: {
       const u32 mask = 0xFFFFU << shift;
       word = (word & ~mask) | ((req.wdata & 0xFFFFU) << shift);
+      clobber_reservations(word_addr, req.core);
       return 0;
     }
     case Op::kSw:
     case Op::kPSwPost:
       word = req.wdata;
+      clobber_reservations(word_addr, req.core);
       return 0;
+    case Op::kScW: {
+      const bool reserved =
+          std::any_of(reservations_.begin(), reservations_.end(), [&](const auto& r) {
+            return r.first == word_addr && r.second == req.core;
+          });
+      std::erase_if(reservations_, [&](const auto& r) { return r.second == req.core; });
+      if (!reserved) {
+        return 1;  // failure: an intervening store clobbered the reservation
+      }
+      word = req.wdata;
+      clobber_reservations(word_addr, req.core);
+      return 0;  // success
+    }
     default: {
       // AMOs on global memory are rare but legal; perform them atomically
       // (the FIFO service point is a natural serialization point).
@@ -118,26 +165,63 @@ u32 GlobalMemory::amo_or_access(const MemRequest& req) {
         case Op::kAmoMaxW: word = static_cast<u32>(std::max(olds, rhs)); break;
         case Op::kAmoMinuW: word = std::min(old, req.wdata); break;
         case Op::kAmoMaxuW: word = std::max(old, req.wdata); break;
-        case Op::kScW: word = req.wdata; return 0;  // success (no remote LR tracking)
         default: MP3D_UNREACHABLE("unsupported gmem op");
       }
+      clobber_reservations(word_addr, req.core);
       return old;
     }
   }
 }
 
 void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
-                        std::vector<u32>& refills) {
+                        std::vector<u32>& refills, u64 bulk_demand_bytes) {
+  // A cycle with bulk demand and zero granted bulk bytes is a bulk stall
+  // (under the legacy absolute-priority policy this is the starvation
+  // signature; under the bounded-share arbiter it only happens while the
+  // reserve is still accruing toward a whole byte).
+  if (pending_bulk_demand_ > 0 && bulk_granted_in_cycle_ == 0) {
+    ++bulk_stall_cycles_;
+  }
+  pending_bulk_demand_ = bulk_demand_bytes;
+  bulk_granted_in_cycle_ = 0;
+
   // Refresh the cycle's byte budget. Bandwidth does not accumulate across
   // idle cycles (a DDR channel cannot bank unused cycles).
   budget_ = bytes_per_cycle_;
-  bool was_busy = !queue_.empty();
-  while (!queue_.empty() && budget_ > 0) {
+
+  // Bounded-share reservation: while bulk demand exists, accrue the bulk
+  // class its guaranteed share as credit (hundredths of a byte) and hold
+  // the whole-byte part of it back from the scalar FIFO this cycle. Credit
+  // the engines could not spend carries over as a deficit, capped so a
+  // long-armed deficit cannot burst scalar latency unboundedly; when
+  // demand disappears the credit is dropped entirely.
+  u64 reserve = 0;
+  if (arbiter_.bulk_min_pct > 0) {
+    if (bulk_demand_bytes > 0) {
+      bulk_credit_x100_ +=
+          static_cast<u64>(bytes_per_cycle_) * arbiter_.bulk_min_pct;
+      const u64 cap = static_cast<u64>(arbiter_.deficit_cap_cycles) *
+                      bytes_per_cycle_ * arbiter_.bulk_min_pct;
+      bulk_credit_x100_ = std::min(bulk_credit_x100_, cap);
+      reserve = std::min({bulk_credit_x100_ / 100, budget_, bulk_demand_bytes});
+    } else {
+      bulk_credit_x100_ = 0;
+    }
+  }
+
+  u64 scalar_budget = budget_ - reserve;
+  const bool was_busy = !queue_.empty();
+  if (was_busy && scalar_budget == 0) {
+    ++scalar_stall_cycles_;
+  }
+  while (!queue_.empty() && scalar_budget > 0) {
     Item& head = queue_.front();
-    const u32 take = static_cast<u32>(std::min<u64>(budget_, head.bytes));
+    const u32 take = static_cast<u32>(std::min<u64>(scalar_budget, head.bytes));
     head.bytes -= take;
+    scalar_budget -= take;
     budget_ -= take;
     bytes_transferred_ += take;
+    scalar_bytes_ += take;
     if (head.bytes == 0) {
       in_flight_.push_back(InFlight{now + latency_, head});
       queue_.pop_front();
@@ -170,6 +254,10 @@ u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
   budget_ -= granted;
   bytes_transferred_ += granted;
   bulk_bytes_ += granted;
+  bulk_granted_in_cycle_ += granted;
+  // Spend reserve credit first; bytes granted beyond the credit came from
+  // the scalar FIFO's leftovers and are free.
+  bulk_credit_x100_ -= std::min<u64>(bulk_credit_x100_, static_cast<u64>(granted) * 100);
   if (granted > 0 && busy_stamp_ != now) {
     busy_stamp_ = now;
     ++busy_cycles_;
@@ -180,19 +268,29 @@ u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
 void GlobalMemory::reset_run_state() {
   queue_.clear();
   in_flight_.clear();
+  reservations_.clear();
   budget_ = 0;
+  bulk_credit_x100_ = 0;
+  pending_bulk_demand_ = 0;
+  bulk_granted_in_cycle_ = 0;
   bytes_transferred_ = 0;
+  scalar_bytes_ = 0;
   bulk_bytes_ = 0;
   busy_cycles_ = 0;
   requests_served_ = 0;
+  scalar_stall_cycles_ = 0;
+  bulk_stall_cycles_ = 0;
   busy_stamp_ = ~sim::Cycle{0};
 }
 
 void GlobalMemory::add_counters(sim::CounterSet& counters) const {
   counters.set("gmem.bytes", bytes_transferred_);
+  counters.set("gmem.scalar_bytes", scalar_bytes_);
   counters.set("gmem.bulk_bytes", bulk_bytes_);
   counters.set("gmem.busy_cycles", busy_cycles_);
   counters.set("gmem.requests", requests_served_);
+  counters.set("gmem.scalar_stall_cycles", scalar_stall_cycles_);
+  counters.set("gmem.bulk_stall_cycles", bulk_stall_cycles_);
 }
 
 }  // namespace mp3d::arch

@@ -5,10 +5,19 @@
 // (4..64 B/cycle); we do the same: a FIFO request stream is served from a
 // per-cycle byte budget, plus a small fixed latency. Storage is sparse so a
 // 64 MiB window costs only what is touched.
+//
+// The per-cycle byte budget is arbitrated between two traffic classes: the
+// latency-critical scalar/refill FIFO and the DMA engines' bulk claims.
+// By default scalar traffic has absolute priority (the policy every paper
+// figure was produced under); a nonzero GmemArbiterConfig::bulk_min_pct
+// turns on the bounded-share arbiter, which guarantees bulk DMA its
+// configured minimum share (with a capped deficit carry-over) whenever
+// bulk demand exists — see GmemArbiterConfig in arch/params.hpp.
 #pragma once
 
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "arch/mem_types.hpp"
@@ -19,7 +28,8 @@ namespace mp3d::arch {
 
 class GlobalMemory {
  public:
-  GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency);
+  GlobalMemory(u32 base, u64 size, u32 bytes_per_cycle, u32 latency,
+               GmemArbiterConfig arbiter = {});
 
   // ---- functional backdoor (host access, program loading) ----------------
   u32 read_word(u32 addr) const;
@@ -37,25 +47,42 @@ class GlobalMemory {
 
   /// Advance one cycle; completed scalar responses are appended to
   /// `responses`, completed refill tokens to `refills`.
+  ///
+  /// `bulk_demand_bytes` is the aggregate backlog the bulk (DMA) class
+  /// will try to claim this cycle (see claim_bulk). With the bounded-share
+  /// arbiter enabled, the scalar FIFO is only served from the byte budget
+  /// left after reserving the bulk class its guaranteed share — a
+  /// reservation made only while demand exists, so an idle DMA subsystem
+  /// costs scalar traffic nothing.
   void step(sim::Cycle now, std::vector<MemResponse>& responses,
-            std::vector<u32>& refills);
+            std::vector<u32>& refills, u64 bulk_demand_bytes);
+  void step(sim::Cycle now, std::vector<MemResponse>& responses,
+            std::vector<u32>& refills) {
+    step(now, responses, refills, 0);
+  }
 
   /// Claim up to `bytes` of the current cycle's remaining byte budget for a
-  /// bulk (DMA) transfer; returns the granted amount. Scalar and refill
-  /// traffic is latency-critical and is served first each cycle (in step());
-  /// bulk engines arbitrate for whatever the FIFO left over, so DMA can
-  /// saturate an idle channel without starving the cores.
+  /// bulk (DMA) transfer; returns the granted amount. Must be called after
+  /// step(): the scalar FIFO is served first from its share of the cycle's
+  /// budget, and bulk engines arbitrate for the reserve plus whatever the
+  /// FIFO left over, so DMA can saturate an idle channel without starving
+  /// the cores — and, with a nonzero bulk_min_pct, is itself guaranteed
+  /// forward progress under scalar saturation.
   u32 claim_bulk(u32 bytes, sim::Cycle now);
 
   u32 bytes_per_cycle() const { return bytes_per_cycle_; }
   u32 latency() const { return latency_; }
+  const GmemArbiterConfig& arbiter() const { return arbiter_; }
 
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u64 bytes_transferred() const { return bytes_transferred_; }
+  u64 scalar_bytes() const { return scalar_bytes_; }
+  u64 bulk_bytes() const { return bulk_bytes_; }
   void add_counters(sim::CounterSet& counters) const;
 
-  /// Drop queued/in-flight traffic and zero all statistics; storage is
-  /// untouched. Called between program loads on one cluster.
+  /// Drop queued/in-flight traffic, LR reservations and arbiter credit,
+  /// and zero all statistics; storage is untouched. Called between program
+  /// loads on one cluster.
   void reset_run_state();
 
  private:
@@ -71,19 +98,42 @@ class GlobalMemory {
   };
 
   u32 amo_or_access(const MemRequest& req);
+  void clobber_reservations(u32 word_addr, u16 writer);
 
   u32 base_;
   u64 size_;
   u32 bytes_per_cycle_;
   u32 latency_;
+  GmemArbiterConfig arbiter_;
   u64 budget_ = 0;  ///< carried byte budget within the current cycle only
   std::deque<Item> queue_;
   std::deque<InFlight> in_flight_;
   std::unordered_map<u32, std::vector<u32>> pages_;
+
+  // ---- bounded-share arbiter state ---------------------------------------
+  // Credit owed to the bulk class, in hundredths of a byte so a share like
+  // 25 % of a 4 B/cycle channel (1 B/cycle) accrues without rounding loss.
+  // Accrued each demand cycle, spent by claim_bulk, capped at
+  // deficit_cap_cycles cycles' worth of guarantee, zeroed when demand
+  // disappears (the channel cannot bank idle cycles).
+  u64 bulk_credit_x100_ = 0;
+  u64 pending_bulk_demand_ = 0;   ///< demand reported to the last step()
+  u64 bulk_granted_in_cycle_ = 0; ///< bytes claim_bulk granted since last step()
+
+  // ---- LR/SC reservations -------------------------------------------------
+  // (word address, core) pairs, mirroring SpmBank: a store by any *other*
+  // core (or a functional write — the DMA/host path) to a reserved word
+  // clobbers the reservation, and the SC then fails instead of silently
+  // corrupting the lock word.
+  std::vector<std::pair<u32, u16>> reservations_;
+
   u64 bytes_transferred_ = 0;
+  u64 scalar_bytes_ = 0;
   u64 bulk_bytes_ = 0;
   u64 busy_cycles_ = 0;
   u64 requests_served_ = 0;
+  u64 scalar_stall_cycles_ = 0;  ///< scalar queued but granted 0 B (reserve)
+  u64 bulk_stall_cycles_ = 0;    ///< bulk demand present but granted 0 B
   sim::Cycle busy_stamp_ = ~sim::Cycle{0};  ///< last cycle counted as busy
 
   static constexpr u32 kPageWords = 16384;  ///< 64 KiB pages

@@ -27,6 +27,14 @@ void ClusterConfig::validate() const {
   MP3D_CHECK(is_pow2(icache_line) && icache_line >= 8, "icache line: pow2, >= 8 B");
   MP3D_CHECK(icache_size % icache_line == 0, "icache size % line == 0");
   MP3D_CHECK(gmem_bytes_per_cycle >= 1, "off-chip bandwidth must be positive");
+  // 100 % would invert the starvation bug (bulk demand would shut scalar
+  // traffic out completely); cap the guarantee so the scalar class always
+  // keeps a share of its own.
+  MP3D_CHECK(gmem_arbiter.bulk_min_pct <= 90,
+             "bulk minimum share must leave scalar traffic at least 10 %");
+  MP3D_CHECK(gmem_arbiter.deficit_cap_cycles >= 1 &&
+                 gmem_arbiter.deficit_cap_cycles <= 1024,
+             "bulk deficit cap must be in 1..1024 cycles");
   MP3D_CHECK(lsu_max_outstanding >= 1 && lsu_max_outstanding <= 32,
              "LSU outstanding must be in 1..32");
   MP3D_CHECK(mul_latency >= 1, "multiplier latency must be at least one cycle");
@@ -51,6 +59,9 @@ std::string ClusterConfig::to_string() const {
       << bank_bytes() / 1024.0 << " KiB/bank), off-chip " << gmem_bytes_per_cycle
       << " B/cycle, " << dma.engines_per_group << " DMA engine(s)/group @ "
       << dma.bytes_per_cycle << " B/cycle";
+  if (gmem_arbiter.bulk_min_pct > 0) {
+    oss << ", bulk min share " << gmem_arbiter.bulk_min_pct << " %";
+  }
   return oss.str();
 }
 

@@ -21,6 +21,24 @@ struct DmaConfig {
   u32 bytes_per_cycle = 64;    ///< SPM-side port width of one engine
 };
 
+/// Bounded-share arbitration of the off-chip channel between the
+/// latency-critical scalar/refill FIFO and the DMA engines' bulk claims.
+///
+/// With `bulk_min_pct == 0` (the default, and the policy every paper figure
+/// was produced under) scalar traffic has absolute priority: bulk claims
+/// only see the bytes the FIFO left over, so a scalar-saturated channel
+/// starves bulk DMA indefinitely. A nonzero share guarantees bulk DMA
+/// `bulk_min_pct` percent of the per-cycle byte budget *while bulk demand
+/// exists*: the guarantee accrues as credit each cycle, the FIFO is served
+/// from the remainder, and credit bulk could not spend (engine port
+/// narrower than the reserve, demand arriving mid-burst) carries over as a
+/// deficit capped at `deficit_cap_cycles` cycles' worth — so scalar
+/// latency stays bounded while bulk is guaranteed forward progress.
+struct GmemArbiterConfig {
+  u32 bulk_min_pct = 0;        ///< guaranteed bulk share of the channel, percent
+  u32 deficit_cap_cycles = 8;  ///< deficit carry-over cap, in cycles of guarantee
+};
+
 struct ClusterConfig {
   // ----- topology ---------------------------------------------------------
   u32 num_groups = 4;        ///< groups per cluster (2x2 physical arrangement)
@@ -62,6 +80,7 @@ struct ClusterConfig {
   // ----- global (off-chip) memory -----------------------------------------
   u32 gmem_bytes_per_cycle = 16;  ///< paper sweeps 4..64 B/cycle
   u32 gmem_latency = 4;           ///< idealized, as in the paper's model
+  GmemArbiterConfig gmem_arbiter; ///< scalar-vs-bulk channel arbitration
 
   // ----- per-group DMA engines ---------------------------------------------
   DmaConfig dma;

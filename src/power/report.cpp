@@ -1,6 +1,8 @@
 // SPDX-License-Identifier: Apache-2.0
 #include "power/report.hpp"
 
+#include <algorithm>
+
 #include "arch/cluster.hpp"
 #include "common/assert.hpp"
 #include "common/strings.hpp"
@@ -66,7 +68,17 @@ EnergyReport account(const sim::CounterSet& counters, const EnergyModel& em,
       pj("icache.hits", em.icache_hit_pj) + pj("icache.misses", em.icache_refill_pj);
   r.noc_nj = pj("noc.local_hops", em.noc_local_hop_pj) +
              pj("noc.global_hops", em.noc_global_hop_pj);
-  r.gmem_nj = pj("gmem.bytes", em.gmem_byte_pj);
+  // Scalar-vs-bulk split of the channel energy (the arbiter's traffic
+  // classes); the gmem total is their sum. Counter sets produced by the
+  // simulator always carry the split; sets that do not (hand-built, or
+  // pre-arbiter sets that may still carry gmem.bulk_bytes alone) get the
+  // un-split remainder of gmem.bytes attributed to the scalar class.
+  const u64 bulk_b = counters.get("gmem.bulk_bytes");
+  const u64 split_b = counters.get("gmem.scalar_bytes") + bulk_b;
+  const u64 total_b = std::max(counters.get("gmem.bytes"), split_b);
+  r.gmem_scalar_nj = static_cast<double>(total_b - bulk_b) * em.gmem_byte_pj * 1e-3;
+  r.gmem_bulk_nj = static_cast<double>(bulk_b) * em.gmem_byte_pj * 1e-3;
+  r.gmem_nj = r.gmem_scalar_nj + r.gmem_bulk_nj;
   // mW x ns = pJ.
   r.leakage_nj = em.leakage_mw * r.runtime_ns * 1e-3;
   r.background_nj = em.background_mw * r.runtime_ns * 1e-3;

@@ -34,6 +34,15 @@ struct EnergyReport {
   double leakage_nj = 0.0;     ///< leakage x runtime
   double background_nj = 0.0;  ///< clock + SRAM periphery x runtime
 
+  // ---- off-chip channel split [nJ] ----------------------------------------
+  // The gmem energy attributed to each traffic class of the channel
+  // arbiter (gmem.scalar_bytes / gmem.bulk_bytes); sums to gmem_nj. A
+  // bounded-share arbiter setting shifts this split without changing the
+  // per-byte cost — DMA-staged kernels move the same bytes as bulk that a
+  // core-driven kernel moves as scalar words.
+  double gmem_scalar_nj = 0.0;  ///< scalar loads/stores + icache refills
+  double gmem_bulk_nj = 0.0;    ///< DMA bulk claims
+
   /// Total including the off-chip channel.
   double total_nj() const;
   /// On-die (cluster) energy only — the scope of the paper's Figure 8 and

@@ -54,6 +54,20 @@ TEST(ClusterConfig, RejectsBadMemoryShape) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(ClusterConfig, RejectsBadGmemArbiter) {
+  ClusterConfig cfg = ClusterConfig::mempool();
+  cfg.gmem_arbiter.bulk_min_pct = 91;  // scalar must keep at least 10 %
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.gmem_arbiter.bulk_min_pct = 90;  // the boundary is allowed
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = ClusterConfig::mempool();
+  cfg.gmem_arbiter.deficit_cap_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 TEST(ClusterConfig, RejectsBadTiming) {
   ClusterConfig cfg = ClusterConfig::mempool();
   cfg.mul_latency = 0;

@@ -98,6 +98,44 @@ TEST(EnergyAccounting, SameRunCostsLessUnder3DAtEqualCapacity) {
   EXPECT_LT(r3d.runtime_ns, r2d.runtime_ns);
 }
 
+TEST(EnergyAccounting, GmemEnergySplitsIntoScalarAndBulk) {
+  // The channel arbiter's traffic-class counters flow into the energy
+  // accounting: scalar + bulk channel energy must cover the gmem total
+  // exactly, and a DMA-staged kernel must show a real bulk component.
+  const ClusterConfig cfg = ClusterConfig::mini();
+  const OperatingPoint op = make_operating_point(cfg, phys::Flow::k2D);
+  arch::Cluster cluster(cfg);
+  const RunResult r = kernels::run_kernel(
+      cluster, kernels::build_axpy_staged(cfg, 2048, 7, /*use_dma=*/true, 512),
+      50'000'000);
+  ASSERT_TRUE(r.ok());
+  const EnergyReport report = account(r, op);
+  EXPECT_GT(report.gmem_scalar_nj, 0.0);  // icache refills + setup loads
+  EXPECT_GT(report.gmem_bulk_nj, 0.0);    // the staged DMA traffic
+  EXPECT_DOUBLE_EQ(report.gmem_scalar_nj + report.gmem_bulk_nj, report.gmem_nj);
+
+  // A counter set without the split (hand-built, pre-arbiter) attributes
+  // the whole channel to the scalar class instead of dropping energy.
+  sim::CounterSet legacy;
+  legacy.set("cycles", 100);
+  legacy.set("gmem.bytes", 400);
+  const EnergyReport fallback = account(legacy, derive_energy_model(op), op);
+  EXPECT_DOUBLE_EQ(fallback.gmem_scalar_nj, fallback.gmem_nj);
+  EXPECT_DOUBLE_EQ(fallback.gmem_bulk_nj, 0.0);
+  EXPECT_GT(fallback.gmem_nj, 0.0);
+
+  // A pre-arbiter set carrying only the bulk counter: the un-split
+  // remainder of gmem.bytes lands on the scalar class, not on the floor.
+  sim::CounterSet mixed;
+  mixed.set("cycles", 100);
+  mixed.set("gmem.bytes", 400);
+  mixed.set("gmem.bulk_bytes", 300);
+  const EnergyReport partial = account(mixed, derive_energy_model(op), op);
+  EXPECT_DOUBLE_EQ(partial.gmem_scalar_nj * 3.0, partial.gmem_bulk_nj);
+  EXPECT_DOUBLE_EQ(partial.gmem_scalar_nj + partial.gmem_bulk_nj, partial.gmem_nj);
+  EXPECT_DOUBLE_EQ(partial.gmem_nj, fallback.gmem_nj);  // same 400 bytes
+}
+
 TEST(EnergyAccounting, MatmulGainAgreesWithCoExplorerWithinTolerance) {
   // The acceptance cross-check: a matmul measured on the paper-shape
   // 1 MiB cluster, costed under both flows, must reproduce the analytical
