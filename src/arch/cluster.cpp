@@ -6,6 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/collector.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mp3d::arch {
 
@@ -69,6 +71,50 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
     cores_.push_back(
         std::make_unique<SnitchCore>(cfg_, static_cast<u16>(c), c / cfg_.cores_per_tile));
   }
+  init_telemetry();
+}
+
+void Cluster::init_telemetry() {
+  TelemetryConfig tcfg = cfg_.telemetry;
+  if (!tcfg.enabled() && obs::global_request_active()) {
+    // The suite CLI's --timeline/--trace flags reach scenario-constructed
+    // clusters through the obs global request; an explicit per-cluster
+    // config always wins.
+    tcfg = obs::global_request().to_config();
+  }
+  if (!tcfg.enabled()) {
+    return;
+  }
+  telemetry_ = std::make_unique<obs::Telemetry>(tcfg);
+  trace_ = telemetry_->trace();
+  if (trace_ == nullptr) {
+    return;
+  }
+  // Track layout: pid = group for cores and DMA engines, one pseudo
+  // process for the gmem arbiter's two traffic classes, and one for
+  // kernel phase markers.
+  const u32 cores_per_group = cfg_.tiles_per_group * cfg_.cores_per_tile;
+  for (u32 c = 0; c < cfg_.num_cores(); ++c) {
+    const u32 group = c / cores_per_group;
+    const u32 track = trace_->add_track("group" + std::to_string(group), group,
+                                        "core" + std::to_string(c), c);
+    cores_[c]->set_trace(trace_, track);
+  }
+  std::vector<u32> engine_tracks;
+  for (u32 g = 0; g < cfg_.num_groups; ++g) {
+    for (u32 e = 0; e < cfg_.dma.engines_per_group; ++e) {
+      engine_tracks.push_back(trace_->add_track(
+          "group" + std::to_string(g), g,
+          "dma" + std::to_string(g) + "." + std::to_string(e), 100000 + e));
+    }
+  }
+  dma_->set_trace(trace_, std::move(engine_tracks));
+  const u32 gmem_pid = cfg_.num_groups;
+  const u32 bulk = trace_->add_track("gmem", gmem_pid, "bulk", 0);
+  const u32 scalar = trace_->add_track("gmem", gmem_pid, "scalar", 1);
+  gmem_->set_trace(trace_, bulk, scalar);
+  marker_track_ = trace_->add_track("kernel", gmem_pid + 1, "markers", 0);
+  ev_marker_ = trace_->intern("marker");
 }
 
 Cluster::~Cluster() = default;
@@ -126,6 +172,12 @@ void Cluster::load_program(const isa::Program& program) {
   activity_ = 0;
   last_activity_value_ = 0;
   last_activity_cycle_ = 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->reset();
+    next_sample_at_ = telemetry_->timeline() != nullptr
+                          ? telemetry_->timeline()->window_cycles()
+                          : sim::kNever;
+  }
 }
 
 void Cluster::warm_icaches() {
@@ -398,7 +450,7 @@ bool Cluster::dma_start(const MemRequest& request) {
   d.to_spm = to_spm;
   d.core = request.core;
   d.waker = st.wake;
-  dma_->push(core_group(request.core), d);
+  dma_->push(core_group(request.core), d, cycle_);
   ++activity_;
   return true;
 }
@@ -443,6 +495,9 @@ void Cluster::ctrl_access(const MemRequest& request) {
     case ctrl::kMarker:
       if (is_write) {
         markers_.push_back(RunResult::Marker{request.wdata, request.core, cycle_});
+        if (trace_ != nullptr) {
+          trace_->instant(marker_track_, ev_marker_, cycle_, request.wdata);
+        }
       }
       break;
     case ctrl::kNumCores:
@@ -636,6 +691,26 @@ void Cluster::step() {
   for (auto& core : cores_) {
     core->step(cycle_);
   }
+
+  // 6. Telemetry. next_sample_at_ is kNever unless windowed sampling is
+  // on, so the disabled path costs exactly this comparison.
+  if (cycle_ >= next_sample_at_) {
+    sample_window();
+  }
+}
+
+void Cluster::sample_window() {
+  sim::CounterSet totals;
+  collect_counters(totals);
+  std::vector<std::pair<std::string, double>> gauges;
+  gauges.emplace_back("dma.backlog_bytes", static_cast<double>(dma_->backlog_bytes()));
+  u32 awake = 0;
+  for (const auto& core : cores_) {
+    awake += core->state() == CoreState::kRunning ? 1 : 0;
+  }
+  gauges.emplace_back("cores.awake", static_cast<double>(awake));
+  telemetry_->timeline()->sample(cycle_, totals, std::move(gauges));
+  next_sample_at_ += telemetry_->timeline()->window_cycles();
 }
 
 bool Cluster::all_cores_halted() const {
@@ -660,6 +735,40 @@ std::string Cluster::deadlock_diagnostic() const {
   return oss.str();
 }
 
+void Cluster::collect_counters(sim::CounterSet& counters) const {
+  for (const auto& core : cores_) {
+    core->add_counters(counters);
+  }
+  u64 bank_accesses = 0;
+  u64 bank_reads = 0;
+  u64 bank_writes = 0;
+  u64 bank_conflicts = 0;
+  u64 bank_wait = 0;
+  for (const SpmBank& bank : banks_) {
+    bank_accesses += bank.accesses();
+    bank_reads += bank.reads();
+    bank_writes += bank.writes();
+    bank_conflicts += bank.conflicts();
+    bank_wait += bank.conflict_wait_cycles();
+  }
+  counters.set("bank.accesses", bank_accesses);
+  counters.set("bank.reads", bank_reads);
+  counters.set("bank.writes", bank_writes);
+  counters.set("bank.conflicts", bank_conflicts);
+  counters.set("bank.conflict_wait_cycles", bank_wait);
+  for (const auto& icache : icaches_) {
+    icache->add_counters(counters);
+  }
+  noc_->add_counters(counters);
+  gmem_->add_counters(counters);
+  dma_->add_counters(counters);
+  counters.set("dma.wakes", dma_wakes_);
+  counters.set("dma.wakes_suppressed", dma_wakes_suppressed_);
+  counters.set("dma.status_reads", dma_status_reads_);
+  counters.set("dma.retired_reads", dma_retired_reads_);
+  counters.set("cycles", cycle_);
+}
+
 RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycles*/) {
   RunResult result;
   result.cycles = cycle_;
@@ -676,36 +785,23 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
     result.core_exit_codes.push_back(cores_[i]->exit_code());
     result.instret.push_back(cores_[i]->instret());
     result.core_errors[i] = cores_[i]->error_message();
-    cores_[i]->add_counters(result.counters);
   }
-  u64 bank_accesses = 0;
-  u64 bank_reads = 0;
-  u64 bank_writes = 0;
-  u64 bank_conflicts = 0;
-  u64 bank_wait = 0;
-  for (const SpmBank& bank : banks_) {
-    bank_accesses += bank.accesses();
-    bank_reads += bank.reads();
-    bank_writes += bank.writes();
-    bank_conflicts += bank.conflicts();
-    bank_wait += bank.conflict_wait_cycles();
+  collect_counters(result.counters);
+  if (telemetry_ != nullptr) {
+    if (trace_ != nullptr) {
+      // Balance spans still open at run end (sleeping cores, a stall in
+      // progress) so the exported JSON pairs every B with an E.
+      gmem_->close_trace_spans(cycle_);
+      for (auto& core : cores_) {
+        core->close_trace_span(cycle_);
+      }
+    }
+    obs::Timeline* timeline = telemetry_->timeline();
+    if (timeline != nullptr && cycle_ >= timeline->next_lo()) {
+      sample_window();  // final partial window
+    }
+    obs::collect_run(*telemetry_);  // no-op without an active global request
   }
-  result.counters.set("bank.accesses", bank_accesses);
-  result.counters.set("bank.reads", bank_reads);
-  result.counters.set("bank.writes", bank_writes);
-  result.counters.set("bank.conflicts", bank_conflicts);
-  result.counters.set("bank.conflict_wait_cycles", bank_wait);
-  for (const auto& icache : icaches_) {
-    icache->add_counters(result.counters);
-  }
-  noc_->add_counters(result.counters);
-  gmem_->add_counters(result.counters);
-  dma_->add_counters(result.counters);
-  result.counters.set("dma.wakes", dma_wakes_);
-  result.counters.set("dma.wakes_suppressed", dma_wakes_suppressed_);
-  result.counters.set("dma.status_reads", dma_status_reads_);
-  result.counters.set("dma.retired_reads", dma_retired_reads_);
-  result.counters.set("cycles", cycle_);
   return result;
 }
 

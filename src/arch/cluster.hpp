@@ -32,6 +32,12 @@
 #include "arch/params.hpp"
 #include "isa/program.hpp"
 #include "sim/counters.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::obs {
+class Telemetry;
+class Trace;
+}
 
 namespace mp3d::arch {
 
@@ -152,6 +158,17 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   /// measures compute phases with a hot I$).
   void warm_icaches();
 
+  /// The telemetry facade, or nullptr when telemetry is off. Enabled by
+  /// ClusterConfig::telemetry or, when that is disabled, by an active
+  /// obs global request (the suite CLI's --timeline/--trace path).
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
+
+  /// Snapshot every component's cumulative counters (the same assembly
+  /// RunResult::counters gets at finish; also the windowed sampler's
+  /// source).
+  void collect_counters(sim::CounterSet& counters) const;
+
   // ---- MemIssueSink ----------------------------------------------------------
   IssueResult issue_mem(const MemRequest& request) override;
   void request_icache_refill(u32 tile, u32 pc) override;
@@ -177,6 +194,8 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   RunResult finish(bool eoc, bool deadlock, bool hit_max, u64 max_cycles);
   bool all_cores_halted() const;
   std::string deadlock_diagnostic() const;
+  void init_telemetry();
+  void sample_window();
 
   ClusterConfig cfg_;
   AddrMap map_;
@@ -232,6 +251,14 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   // Reused buffers for gmem completions.
   std::vector<MemResponse> gmem_responses_;
   std::vector<u32> gmem_refills_;
+
+  // Telemetry (null / kNever when disabled: the per-cycle cost is one
+  // always-false comparison in step()).
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  obs::Trace* trace_ = nullptr;  ///< telemetry_->trace(), cached for hot paths
+  sim::Cycle next_sample_at_ = sim::kNever;
+  u32 marker_track_ = 0;
+  u32 ev_marker_ = 0;
 
   // Progress tracking for deadlock detection.
   u64 activity_ = 0;

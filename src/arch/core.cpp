@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "isa/disasm.hpp"
+#include "obs/trace.hpp"
 
 namespace mp3d::arch {
 
@@ -92,6 +93,9 @@ void SnitchCore::step(sim::Cycle now) {
     if (wake_tokens_ > 0) {
       --wake_tokens_;
       state_ = CoreState::kRunning;
+      if (trace_ != nullptr) {
+        trace_->end(track_, ev_wfi_, now);
+      }
     } else {
       ++wfi_cycles_;
       return;
@@ -351,6 +355,9 @@ void SnitchCore::execute(const Instr& in, sim::Cycle now) {
         --wake_tokens_;
       } else {
         state_ = CoreState::kWfi;
+        if (trace_ != nullptr) {
+          trace_->begin(track_, ev_wfi_, now);
+        }
       }
       break;
     case Op::kCsrrw:
@@ -418,6 +425,20 @@ void SnitchCore::halt_error(const std::string& message) {
   state_ = CoreState::kError;
   error_ = message;
   exit_code_ = 0xDEAD;
+}
+
+void SnitchCore::set_trace(obs::Trace* trace, u32 track) {
+  trace_ = trace;
+  track_ = track;
+  if (trace_ != nullptr) {
+    ev_wfi_ = trace_->intern("wfi");
+  }
+}
+
+void SnitchCore::close_trace_span(sim::Cycle now) {
+  if (trace_ != nullptr && state_ == CoreState::kWfi) {
+    trace_->end(track_, ev_wfi_, now);
+  }
 }
 
 void SnitchCore::add_counters(sim::CounterSet& counters) const {

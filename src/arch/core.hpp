@@ -25,6 +25,10 @@
 #include "sim/counters.hpp"
 #include "sim/types.hpp"
 
+namespace mp3d::obs {
+class Trace;
+}
+
 namespace mp3d::arch {
 
 /// Memory-system hook the core issues requests into (implemented by Cluster).
@@ -77,6 +81,12 @@ class SnitchCore {
   /// Merge this core's microarchitectural counters into `counters`.
   void add_counters(sim::CounterSet& counters) const;
 
+  /// Attach the event trace (nullptr detaches); `track` is this core's
+  /// timeline row. Emits "wfi" spans over sleep intervals.
+  void set_trace(obs::Trace* trace, u32 track);
+  /// End an open wfi span at `now` (run teardown) so traces stay balanced.
+  void close_trace_span(sim::Cycle now);
+
  private:
   struct LsuSlot {
     bool in_use = false;
@@ -128,6 +138,10 @@ class SnitchCore {
   u64 stall_fence_ = 0;
   u64 stall_flush_ = 0;
   u64 wfi_cycles_ = 0;
+
+  obs::Trace* trace_ = nullptr;  ///< optional event trace (null = off)
+  u32 track_ = 0;
+  u32 ev_wfi_ = 0;
   u64 mem_ops_ = 0;
   u64 mac_ops_ = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "arch/global_mem.hpp"
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace mp3d::arch {
 
@@ -47,13 +48,26 @@ u32 DmaEngine::pending() const {
   return static_cast<u32>(queue_.size() + (active_ ? 1 : 0) + completing_.size());
 }
 
-void DmaEngine::push(DmaDescriptor descriptor) {
+void DmaEngine::push(DmaDescriptor descriptor, sim::Cycle now) {
   MP3D_CHECK(can_accept(), "DMA descriptor queue overflow");
   MP3D_CHECK(descriptor.bytes_per_row > 0 && descriptor.bytes_per_row % 4 == 0,
              "DMA row length must be a positive multiple of 4");
   MP3D_CHECK(descriptor.rows >= 1, "DMA descriptor needs at least one row");
   backlog_bytes_ += descriptor.total_bytes();
+  if (trace_ != nullptr) {
+    trace_->instant(track_, ev_staged_, now, descriptor.ticket);
+  }
   queue_.push_back(descriptor);
+}
+
+void DmaEngine::set_trace(obs::Trace* trace, u32 track) {
+  trace_ = trace;
+  track_ = track;
+  if (trace_ != nullptr) {
+    ev_staged_ = trace_->intern("dma_staged");
+    ev_xfer_ = trace_->intern("dma_xfer");
+    ev_retired_ = trace_->intern("dma_retired");
+  }
 }
 
 void DmaEngine::move_word(const DmaDescriptor& d, u32 word_index, GlobalMemory& gmem,
@@ -78,6 +92,9 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
     // advances first and the wake fires after it (a woken waiter must see
     // the updated count on its next ctrl read).
     tracker.note_retired(completing_.front().ticket);
+    if (trace_ != nullptr) {
+      trace_->instant(track_, ev_retired_, now, completing_.front().ticket);
+    }
     if (completing_.front().waker != kDmaNoWaker) {
       spm.dma_wake_core(completing_.front().waker);
     }
@@ -95,6 +112,9 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
       active_ = true;
       granted_bytes_ = 0;
       moved_words_ = 0;
+      if (trace_ != nullptr) {
+        trace_->begin(track_, ev_xfer_, now, current_.ticket);
+      }
     }
     const u64 remaining = current_.total_bytes() - granted_bytes_;
     const u32 want = static_cast<u32>(std::min<u64>(port_budget, remaining));
@@ -111,6 +131,9 @@ u32 DmaEngine::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm,
       completing_.push_back(Completion{now + gmem_latency_, current_.waker, current_.ticket});
       ++descriptors_completed_;
       active_ = false;
+      if (trace_ != nullptr) {
+        trace_->end(track_, ev_xfer_, now, current_.ticket);
+      }
     }
     if (got < want) {
       break;  // channel budget exhausted this cycle
@@ -142,18 +165,32 @@ bool DmaSubsystem::can_accept(u32 group) const {
   return false;
 }
 
-void DmaSubsystem::push(u32 group, DmaDescriptor descriptor) {
+void DmaSubsystem::push(u32 group, DmaDescriptor descriptor, sim::Cycle now) {
   descriptor.ticket = trackers_[group].next_ticket();
   for (u32 i = 0; i < engines_per_group_; ++i) {
     const u32 e = (dispatch_rr_[group] + i) % engines_per_group_;
     DmaEngine& engine = engines_[group * engines_per_group_ + e];
     if (engine.can_accept()) {
-      engine.push(descriptor);
+      engine.push(descriptor, now);
       dispatch_rr_[group] = (e + 1) % engines_per_group_;
       return;
     }
   }
   MP3D_CHECK(false, "DMA push with every engine of group " << group << " full");
+}
+
+void DmaSubsystem::set_trace(obs::Trace* trace, std::vector<u32> engine_tracks) {
+  MP3D_CHECK(trace == nullptr || engine_tracks.size() == engines_.size(),
+             "DMA trace needs one track per engine");
+  trace_ = trace;
+  engine_tracks_ = std::move(engine_tracks);
+  apply_trace();
+}
+
+void DmaSubsystem::apply_trace() {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].set_trace(trace_, trace_ == nullptr ? 0 : engine_tracks_[i]);
+  }
 }
 
 u32 DmaSubsystem::pending(u32 group) const {
@@ -205,6 +242,7 @@ void DmaSubsystem::reset() {
   step_rr_ = 0;
   busy_cycles_ = 0;
   queue_full_stall_cycles_ = 0;
+  apply_trace();  // reset() recreated the engines; re-attach their tracks
 }
 
 void DmaSubsystem::add_counters(sim::CounterSet& counters) const {

@@ -34,6 +34,10 @@
 #include "sim/counters.hpp"
 #include "sim/types.hpp"
 
+namespace mp3d::obs {
+class Trace;
+}
+
 namespace mp3d::arch {
 
 class GlobalMemory;
@@ -100,7 +104,18 @@ class DmaEngine {
   DmaEngine(const DmaConfig& cfg, u32 gmem_latency);
 
   bool can_accept() const { return pending() < max_outstanding_; }
-  void push(DmaDescriptor descriptor);
+  /// Queue a descriptor; `now` only timestamps the trace's "staged"
+  /// instant and has no timing effect.
+  void push(DmaDescriptor descriptor, sim::Cycle now = 0);
+
+  /// Attach the event trace (nullptr detaches); `track` is this engine's
+  /// timeline row. Emits the descriptor lifecycle: "dma_staged" instant at
+  /// push, a "dma_xfer" span over the active-transfer phase (activation to
+  /// last granted byte; the completion-latency window overlaps the next
+  /// descriptor's transfer, so it is not part of the span), and a
+  /// "dma_retired" instant when the watermark advances. Event args carry
+  /// the ticket.
+  void set_trace(obs::Trace* trace, u32 track);
 
   /// Descriptors not yet fully completed (queued + active + in the
   /// completion-latency window). This is what software polls as kDmaStatus.
@@ -148,6 +163,12 @@ class DmaEngine {
 
   u64 bytes_moved_ = 0;
   u64 descriptors_completed_ = 0;
+
+  obs::Trace* trace_ = nullptr;  ///< optional event trace (null = off)
+  u32 track_ = 0;
+  u32 ev_staged_ = 0;
+  u32 ev_xfer_ = 0;
+  u32 ev_retired_ = 0;
 };
 
 /// The cluster's DMA subsystem: `engines_per_group` engines per group,
@@ -162,7 +183,12 @@ class DmaSubsystem {
   /// True if some engine of `group` can take another descriptor.
   bool can_accept(u32 group) const;
   /// Dispatch to the group's next engine with a free slot (pre: can_accept).
-  void push(u32 group, DmaDescriptor descriptor);
+  /// `now` only timestamps the trace's "staged" instant.
+  void push(u32 group, DmaDescriptor descriptor, sim::Cycle now = 0);
+
+  /// Attach the event trace; `engine_tracks` has one row per engine in
+  /// subsystem order. Survives reset() (which recreates the engines).
+  void set_trace(obs::Trace* trace, std::vector<u32> engine_tracks);
 
   /// Aggregate outstanding-descriptor count of `group` (kDmaStatus).
   u32 pending(u32 group) const;
@@ -200,6 +226,10 @@ class DmaSubsystem {
   u32 step_rr_ = 0;               ///< rotates per-cycle engine service order
   u64 busy_cycles_ = 0;           ///< cycles any engine moved bytes
   u64 queue_full_stall_cycles_ = 0;
+  obs::Trace* trace_ = nullptr;   ///< kept so reset() can re-attach
+  std::vector<u32> engine_tracks_;
+
+  void apply_trace();
 };
 
 }  // namespace mp3d::arch

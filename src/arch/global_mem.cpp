@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace mp3d::arch {
 
@@ -179,8 +180,21 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
   // (under the legacy absolute-priority policy this is the starvation
   // signature; under the bounded-share arbiter it only happens while the
   // reserve is still accruing toward a whole byte).
-  if (pending_bulk_demand_ > 0 && bulk_granted_in_cycle_ == 0) {
+  const bool bulk_stalled = pending_bulk_demand_ > 0 && bulk_granted_in_cycle_ == 0;
+  if (bulk_stalled) {
     ++bulk_stall_cycles_;
+  }
+  if (trace_ != nullptr) {
+    // The stall verdict computed here is about the *previous* cycle (the
+    // grants it is checking happened after the last step()).
+    const sim::Cycle prev = now == 0 ? 0 : now - 1;
+    if (bulk_stalled && !in_bulk_stall_) {
+      trace_->begin(bulk_track_, ev_bulk_stall_, prev);
+      in_bulk_stall_ = true;
+    } else if (!bulk_stalled && in_bulk_stall_) {
+      trace_->end(bulk_track_, ev_bulk_stall_, prev);
+      in_bulk_stall_ = false;
+    }
   }
   pending_bulk_demand_ = bulk_demand_bytes;
   bulk_granted_in_cycle_ = 0;
@@ -200,19 +214,34 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
     if (bulk_demand_bytes > 0) {
       bulk_credit_x100_ +=
           static_cast<u64>(bytes_per_cycle_) * arbiter_.bulk_min_pct;
+      bulk_credit_accrued_x100_ +=
+          static_cast<u64>(bytes_per_cycle_) * arbiter_.bulk_min_pct;
       const u64 cap = static_cast<u64>(arbiter_.deficit_cap_cycles) *
                       bytes_per_cycle_ * arbiter_.bulk_min_pct;
       bulk_credit_x100_ = std::min(bulk_credit_x100_, cap);
       reserve = std::min({bulk_credit_x100_ / 100, budget_, bulk_demand_bytes});
     } else {
+      if (trace_ != nullptr && bulk_credit_x100_ > 0) {
+        trace_->instant(bulk_track_, ev_deficit_reset_, now, bulk_credit_x100_ / 100);
+      }
       bulk_credit_x100_ = 0;
     }
   }
 
   u64 scalar_budget = budget_ - reserve;
   const bool was_busy = !queue_.empty();
-  if (was_busy && scalar_budget == 0) {
+  const bool scalar_stalled = was_busy && scalar_budget == 0;
+  if (scalar_stalled) {
     ++scalar_stall_cycles_;
+  }
+  if (trace_ != nullptr) {
+    if (scalar_stalled && !in_scalar_stall_) {
+      trace_->begin(scalar_track_, ev_scalar_stall_, now);
+      in_scalar_stall_ = true;
+    } else if (!scalar_stalled && in_scalar_stall_) {
+      trace_->end(scalar_track_, ev_scalar_stall_, now);
+      in_scalar_stall_ = false;
+    }
   }
   while (!queue_.empty() && scalar_budget > 0) {
     Item& head = queue_.front();
@@ -265,6 +294,31 @@ u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
   return granted;
 }
 
+void GlobalMemory::set_trace(obs::Trace* trace, u32 bulk_track, u32 scalar_track) {
+  trace_ = trace;
+  bulk_track_ = bulk_track;
+  scalar_track_ = scalar_track;
+  if (trace_ != nullptr) {
+    ev_bulk_stall_ = trace_->intern("bulk_stall");
+    ev_scalar_stall_ = trace_->intern("scalar_stall");
+    ev_deficit_reset_ = trace_->intern("deficit_reset");
+  }
+}
+
+void GlobalMemory::close_trace_spans(sim::Cycle now) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  if (in_bulk_stall_) {
+    trace_->end(bulk_track_, ev_bulk_stall_, now);
+    in_bulk_stall_ = false;
+  }
+  if (in_scalar_stall_) {
+    trace_->end(scalar_track_, ev_scalar_stall_, now);
+    in_scalar_stall_ = false;
+  }
+}
+
 void GlobalMemory::reset_run_state() {
   queue_.clear();
   in_flight_.clear();
@@ -273,6 +327,9 @@ void GlobalMemory::reset_run_state() {
   bulk_credit_x100_ = 0;
   pending_bulk_demand_ = 0;
   bulk_granted_in_cycle_ = 0;
+  bulk_credit_accrued_x100_ = 0;
+  in_bulk_stall_ = false;
+  in_scalar_stall_ = false;
   bytes_transferred_ = 0;
   scalar_bytes_ = 0;
   bulk_bytes_ = 0;
@@ -291,6 +348,9 @@ void GlobalMemory::add_counters(sim::CounterSet& counters) const {
   counters.set("gmem.requests", requests_served_);
   counters.set("gmem.scalar_stall_cycles", scalar_stall_cycles_);
   counters.set("gmem.bulk_stall_cycles", bulk_stall_cycles_);
+  if (arbiter_.bulk_min_pct > 0) {
+    counters.set("gmem.bulk_credit_accrued_x100", bulk_credit_accrued_x100_);
+  }
 }
 
 }  // namespace mp3d::arch

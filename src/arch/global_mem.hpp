@@ -24,6 +24,10 @@
 #include "arch/params.hpp"
 #include "sim/counters.hpp"
 
+namespace mp3d::obs {
+class Trace;
+}
+
 namespace mp3d::arch {
 
 class GlobalMemory {
@@ -74,6 +78,14 @@ class GlobalMemory {
   u32 latency() const { return latency_; }
   const GmemArbiterConfig& arbiter() const { return arbiter_; }
 
+  /// Attach the event trace (nullptr detaches). `bulk_track`/`scalar_track`
+  /// are the trace rows for the two traffic classes; the arbiter emits
+  /// stall spans on them and deficit-reset instants on the bulk row.
+  void set_trace(obs::Trace* trace, u32 bulk_track, u32 scalar_track);
+  /// Close any open stall spans at `now` (end of run) so the exported
+  /// trace is balanced.
+  void close_trace_spans(sim::Cycle now);
+
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u64 bytes_transferred() const { return bytes_transferred_; }
   u64 scalar_bytes() const { return scalar_bytes_; }
@@ -119,6 +131,17 @@ class GlobalMemory {
   u64 bulk_credit_x100_ = 0;
   u64 pending_bulk_demand_ = 0;   ///< demand reported to the last step()
   u64 bulk_granted_in_cycle_ = 0; ///< bytes claim_bulk granted since last step()
+  u64 bulk_credit_accrued_x100_ = 0;  ///< lifetime accrual (statistic only)
+
+  // ---- event trace (optional; null when telemetry is off) -----------------
+  obs::Trace* trace_ = nullptr;
+  u32 bulk_track_ = 0;
+  u32 scalar_track_ = 0;
+  u32 ev_bulk_stall_ = 0;
+  u32 ev_scalar_stall_ = 0;
+  u32 ev_deficit_reset_ = 0;
+  bool in_bulk_stall_ = false;
+  bool in_scalar_stall_ = false;
 
   // ---- LR/SC reservations -------------------------------------------------
   // (word address, core) pairs, mirroring SpmBank: a store by any *other*

@@ -39,6 +39,23 @@ struct GmemArbiterConfig {
   u32 deficit_cap_cycles = 8;  ///< deficit carry-over cap, in cycles of guarantee
 };
 
+/// Simulation telemetry (src/obs). Both modes are off by default and the
+/// simulator pays nothing for them when disabled: the per-cycle hot path
+/// only ever compares the cycle against a sample deadline that is parked
+/// at "never", and trace emission sits behind null pointer checks.
+struct TelemetryConfig {
+  /// Cycles per counter-sampling window; 0 disables windowed sampling.
+  /// Each window snapshots the full counter delta plus derived gauges.
+  u32 sample_window = 0;
+  /// Record structured begin/end/instant events (DMA descriptor lifecycle,
+  /// gmem arbiter decisions, core wfi spans, kernel phase markers).
+  bool trace = false;
+  /// Event buffer bound; events past it are dropped and counted.
+  u64 trace_capacity = 1u << 20;
+
+  bool enabled() const { return sample_window > 0 || trace; }
+};
+
 struct ClusterConfig {
   // ----- topology ---------------------------------------------------------
   u32 num_groups = 4;        ///< groups per cluster (2x2 physical arrangement)
@@ -84,6 +101,9 @@ struct ClusterConfig {
 
   // ----- per-group DMA engines ---------------------------------------------
   DmaConfig dma;
+
+  // ----- telemetry ---------------------------------------------------------
+  TelemetryConfig telemetry;
 
   // ----- derived ----------------------------------------------------------
   u32 num_tiles() const { return num_groups * tiles_per_group; }

@@ -8,6 +8,7 @@ namespace mp3d::log {
 namespace {
 
 std::atomic<Level> g_threshold{Level::kWarn};
+std::atomic<Sink> g_sink{nullptr};
 
 const char* level_name(Level level) {
   switch (level) {
@@ -29,7 +30,14 @@ void set_threshold(Level level) { g_threshold.store(level, std::memory_order_rel
 
 bool enabled(Level level) { return level >= threshold(); }
 
+Sink set_sink(Sink sink) { return g_sink.exchange(sink, std::memory_order_acq_rel); }
+
 void write(Level level, const std::string& msg) {
+  const Sink sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[mp3d %s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -19,6 +19,13 @@ void write(Level level, const std::string& msg);
 
 bool enabled(Level level);
 
+/// Where formatted messages go. The default (nullptr) writes to stderr;
+/// tests install a capturing sink and restore the previous one after.
+using Sink = void (*)(Level level, const std::string& msg);
+/// Install `sink` (nullptr restores the stderr default); returns the
+/// previously installed sink (nullptr if it was the default).
+Sink set_sink(Sink sink);
+
 }  // namespace mp3d::log
 
 #define MP3D_LOG(level, expr)                                    \

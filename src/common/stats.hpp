@@ -36,6 +36,12 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Percentile of `samples` by linear interpolation between order statistics
+/// (the rank is q*(n-1); fractional ranks blend the two neighbours). Sorts
+/// `samples` in place. Returns 0 for an empty vector and the sole value for
+/// n == 1. `q` is clamped into [0, 1].
+double percentile(std::vector<u64>& samples, double q);
+
 /// Fixed-range histogram with uniform bins; values outside the range are
 /// clamped into the first/last bin.
 class Histogram {

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/collector.hpp"
+
 namespace mp3d::exp {
 
 namespace {
@@ -85,6 +87,10 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       result.name = scenario.name;
       result.description = scenario.description;
       const auto start = Clock::now();
+      if (obs::global_request_active()) {
+        // Label this thread's telemetry deposits with the scenario name.
+        obs::set_collect_label(scenario.name);
+      }
       try {
         result.output = scenario.run();
       } catch (const std::exception& e) {

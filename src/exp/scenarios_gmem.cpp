@@ -6,24 +6,14 @@
 
 #include "arch/cluster.hpp"
 #include "arch/global_mem.hpp"
+#include "common/stats.hpp"
 #include "exp/sweep.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/simple_kernels.hpp"
+#include "obs/collector.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mp3d::exp {
-namespace {
-
-double percentile(std::vector<u64>& samples, double q) {
-  if (samples.empty()) {
-    return 0.0;
-  }
-  std::sort(samples.begin(), samples.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  return static_cast<double>(samples[std::min(idx, samples.size() - 1)]);
-}
-
-}  // namespace
 
 GmemSoakResult run_gmem_soak(const GmemSoakParams& params) {
   arch::GmemArbiterConfig arb;
@@ -32,11 +22,42 @@ GmemSoakResult run_gmem_soak(const GmemSoakParams& params) {
   arch::GlobalMemory gmem(0x8000'0000u, MiB(1), params.bytes_per_cycle,
                           params.latency, arb);
 
+  arch::TelemetryConfig tcfg = params.telemetry;
+  if (!tcfg.enabled() && obs::global_request_active()) {
+    tcfg = obs::global_request().to_config();
+  }
+  std::shared_ptr<obs::Telemetry> telemetry;
+  obs::Timeline* timeline = nullptr;
+  if (tcfg.enabled()) {
+    telemetry = std::make_shared<obs::Telemetry>(tcfg);
+    timeline = telemetry->timeline();
+    if (obs::Trace* trace = telemetry->trace(); trace != nullptr) {
+      const u32 bulk = trace->add_track("gmem", 0, "bulk", 0);
+      const u32 scalar = trace->add_track("gmem", 0, "scalar", 1);
+      gmem.set_trace(trace, bulk, scalar);
+    }
+  }
+  u64 next_sample = timeline != nullptr ? tcfg.sample_window : sim::kNever;
+  std::vector<u64> window_latencies;
+
   std::vector<arch::MemResponse> responses;
   std::vector<u32> refills;
   std::deque<u64> issue_cycles;  ///< FIFO service order = response order
   std::vector<u64> latencies;
   GmemSoakResult result;
+
+  const auto sample_window = [&](u64 cycle) {
+    sim::CounterSet totals;
+    gmem.add_counters(totals);
+    totals.set("cycles", cycle);
+    std::vector<std::pair<std::string, double>> gauges;
+    gauges.emplace_back("scalar_p50", percentile(window_latencies, 0.50));
+    gauges.emplace_back("scalar_p99", percentile(window_latencies, 0.99));
+    gauges.emplace_back("scalar_inflight",
+                        static_cast<double>(issue_cycles.size()));
+    timeline->sample(cycle, totals, std::move(gauges));
+    window_latencies.clear();
+  };
 
   // The scalar generator accrues offered bytes in hundredths so fractional
   // per-cycle loads (e.g. 90 % of 2 B/cycle) stream without rounding drift.
@@ -59,12 +80,29 @@ GmemSoakResult run_gmem_soak(const GmemSoakParams& params) {
     const u64 demand = params.bulk_active ? (u64{1} << 30) : 0;
     gmem.step(cycle, responses, refills, demand);
     for (std::size_t i = 0; i < responses.size(); ++i) {
-      latencies.push_back(cycle - issue_cycles.front());
+      const u64 latency = cycle - issue_cycles.front();
+      latencies.push_back(latency);
+      if (timeline != nullptr) {
+        window_latencies.push_back(latency);
+      }
       issue_cycles.pop_front();
     }
     if (params.bulk_active) {
       gmem.claim_bulk(params.bytes_per_cycle, cycle);
     }
+    if (cycle >= next_sample) {
+      sample_window(cycle);
+      next_sample += tcfg.sample_window;
+    }
+  }
+
+  if (telemetry != nullptr) {
+    gmem.close_trace_spans(params.cycles);
+    if (timeline != nullptr && params.cycles >= timeline->next_lo()) {
+      sample_window(params.cycles);  // final partial window
+    }
+    obs::collect_run(*telemetry);  // no-op without an active global request
+    result.telemetry = telemetry;
   }
 
   sim::CounterSet counters;

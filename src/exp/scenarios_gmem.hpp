@@ -20,8 +20,15 @@
 //     a nonzero guarantee does not regress kernel runtime.
 #pragma once
 
+#include <memory>
+
+#include "arch/params.hpp"
 #include "common/units.hpp"
 #include "exp/scenario.hpp"
+
+namespace mp3d::obs {
+class Telemetry;
+}
 
 namespace mp3d::exp {
 
@@ -34,6 +41,10 @@ struct GmemSoakParams {
   u32 scalar_load_pct = 100;   ///< offered scalar load, % of channel bytes
   bool bulk_active = true;     ///< an always-hungry bulk claimant
   u64 cycles = 20000;
+  /// Optional telemetry: windowed counter sampling and/or arbiter event
+  /// tracing on the standalone GlobalMemory. When disabled here, an
+  /// active obs global request (the suite's --timeline/--trace) applies.
+  arch::TelemetryConfig telemetry;
 };
 
 struct GmemSoakResult {
@@ -44,6 +55,10 @@ struct GmemSoakResult {
   double scalar_p50 = 0.0;   ///< median enqueue-to-response latency [cycles]
   double scalar_p99 = 0.0;
   double bulk_share = 0.0;   ///< bulk bytes / (cycles x channel rate)
+  /// Collected telemetry (null when disabled). Windows carry the gmem
+  /// counter deltas plus per-window scalar latency p50/p99 and queue
+  /// depth gauges.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// Run the soak: a deterministic scalar word stream at the configured

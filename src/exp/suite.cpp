@@ -12,6 +12,7 @@
 #endif
 
 #include "common/table.hpp"
+#include "obs/collector.hpp"
 
 namespace mp3d::exp {
 
@@ -87,6 +88,21 @@ std::string parse_cli(int argc, char** argv, CliOptions& options,
       options.smoke = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
       options.progress = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      const char* v = value();
+      char* end = nullptr;
+      const long long n = v == nullptr ? 0 : std::strtoll(v, &end, 10);
+      if (v == nullptr || end == v || *end != '\0' || n < 16 ||
+          n > (1ll << 30)) {
+        return "--timeline needs a sampling window in cycles in [16, 2^30]";
+      }
+      options.timeline_window = static_cast<u64>(n);
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      const char* v = value();
+      if (v == nullptr || v[0] == '\0') {
+        return "--trace needs a filename";
+      }
+      options.trace_file = v;
     } else if (is_extra(arg)) {
       options.extras.emplace_back(arg);
     } else {
@@ -173,7 +189,8 @@ void default_report(const Suite& suite, const SweepReport& report) {
 void print_usage(const char* argv0, const std::vector<std::string>& extra_flags) {
   std::fprintf(stderr,
                "usage: %s [--list] [--filter SUBSTR]... [--jobs N] [--csv] [--json]\n"
-               "       [--out DIR] [--smoke] [--progress]",
+               "       [--out DIR] [--smoke] [--progress] [--timeline CYCLES]\n"
+               "       [--trace FILE]",
                argv0);
   for (const std::string& f : extra_flags) {
     std::fprintf(stderr, " [%s]", f.c_str());
@@ -287,6 +304,18 @@ int suite_main(int argc, char** argv,
   RunnerOptions runner;
   runner.jobs = options.jobs;
   runner.progress = options.progress;
+  if (options.telemetry()) {
+    // Deterministic collection: deposits must arrive in scenario order, and
+    // trace pid offsets are assigned per deposit.
+    if (runner.jobs != 1) {
+      std::fprintf(stderr, "[telemetry active: forcing --jobs 1]\n");
+      runner.jobs = 1;
+    }
+    obs::TelemetryRequest request;
+    request.sample_window = static_cast<u32>(options.timeline_window);
+    request.trace = !options.trace_file.empty();
+    obs::set_global_request(request);
+  }
   SweepReport report = run_sweep(selected, runner);
 
   if (suite.finalize) {
@@ -352,6 +381,35 @@ int suite_main(int argc, char** argv,
       std::fprintf(stderr, "error: %s\n", err.c_str());
       io_ok = false;
     }
+  }
+  if (options.timeline_window > 0) {
+    const std::string path = dir + "/" + suite.name + "_timeline.csv";
+    const std::string err =
+        write_text_file(path, rows_to_csv(obs::collected_timeline_rows()));
+    if (err.empty()) {
+      std::printf("[timeline written to %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      io_ok = false;
+    }
+  }
+  if (!options.trace_file.empty()) {
+    // A bare filename lands under --out next to the CSVs; an absolute (or
+    // relative-with-directories) path is honored as given.
+    const std::string path =
+        options.trace_file.find('/') == std::string::npos
+            ? dir + "/" + options.trace_file
+            : options.trace_file;
+    const std::string err = write_text_file(path, obs::collected_trace_json());
+    if (err.empty()) {
+      std::printf("[trace written to %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      io_ok = false;
+    }
+  }
+  if (options.telemetry()) {
+    obs::set_global_request({});  // drop the request and collected buffers
   }
 
   std::printf("sweep '%s': %zu scenario(s), jobs=%u, wall %.0f ms\n",

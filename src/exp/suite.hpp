@@ -14,11 +14,16 @@
 //                                or the binary's directory)
 //   bench --smoke                reduced workloads, same gates
 //   bench --progress             per-scenario progress on stderr
+//   bench --timeline CYCLES      sample windowed counter timelines every
+//                                CYCLES cycles -> <suite>_timeline.csv
+//   bench --trace FILE           structured event trace (Chrome trace JSON,
+//                                Perfetto-loadable) -> FILE under --out
 //
 // Output files are `<suite name>.csv` / `<suite name>.json`; the directory
 // is created on demand and any write failure is a hard error (nonzero
 // exit), so CI can never pass on empty artifacts. CSV bytes are identical
-// for any --jobs value.
+// for any --jobs value. Telemetry (--timeline/--trace) forces --jobs 1 so
+// run labels and trace track ids are deterministic.
 #pragma once
 
 #include <functional>
@@ -39,9 +44,12 @@ struct CliOptions {
   std::string out_dir;  ///< empty = $MP3D_BENCH_OUT or the binary's directory
   bool smoke = false;
   bool progress = false;
+  u64 timeline_window = 0;  ///< --timeline: sampling window [cycles], 0 = off
+  std::string trace_file;   ///< --trace: event-trace JSON filename, "" = off
   std::vector<std::string> extras;  ///< suite-specific flags that were set
 
   bool extra(const std::string& flag) const;
+  bool telemetry() const { return timeline_window > 0 || !trace_file.empty(); }
 };
 
 struct Suite {

@@ -97,18 +97,6 @@ std::string copy_setup(const std::string& gmem_base_expr, const std::string& spm
   return s;
 }
 
-std::string emit_marker(const std::string& id_sym, bool enabled) {
-  if (!enabled) {
-    return "";
-  }
-  // Label disambiguator across expansions; atomic so kernel builders can
-  // run on experiment-engine worker threads concurrently.
-  static std::atomic<int> unique{0};
-  const std::string skip = "mm_mrk_" + std::to_string(unique.fetch_add(1));
-  return "    bnez s0, " + skip + "\n    li t0, MARKER\n    li t1, " + id_sym +
-         "\n    sw t1, 0(t0)\n" + skip + ":\n";
-}
-
 // Emits the register-blocked compute phase: spill SPMD state, loop over
 // this core's 4x4 blocks, restore s0-s3. `a_base` / `b_base` are the
 // instructions materializing the A/B tile base address into t3 — a fixed

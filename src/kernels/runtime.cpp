@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: Apache-2.0
 #include "kernels/runtime.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "common/assert.hpp"
@@ -204,6 +205,18 @@ _group_leader:
     seqz a0, a0
     ret
 )";
+}
+
+std::string emit_marker(const std::string& id_sym, bool enabled) {
+  if (!enabled) {
+    return "";
+  }
+  // Label disambiguator across expansions; atomic so kernel builders can
+  // run on experiment-engine worker threads concurrently.
+  static std::atomic<int> unique{0};
+  const std::string skip = "rt_mrk_" + std::to_string(unique.fetch_add(1));
+  return "    bnez s0, " + skip + "\n    li t0, MARKER\n    li t1, " + id_sym +
+         "\n    sw t1, 0(t0)\n" + skip + ":\n";
 }
 
 void reset_runtime_state(arch::Cluster& cluster) {

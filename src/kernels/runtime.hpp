@@ -65,6 +65,14 @@ std::string runtime_barrier(const arch::ClusterConfig& cfg);
 ///   - `_group_leader`: a0 = 1 if the caller is its group's first core.
 std::string runtime_dma(const arch::ClusterConfig& cfg);
 
+/// Assembly fragment that writes marker id `id_sym` (a .equ symbol or
+/// literal) to the MARKER ctrl register from core 0 only (`s0` holds the
+/// hartid by kernel convention). The cluster records (id, core, cycle) in
+/// RunResult::markers and, with event tracing on, emits a trace instant —
+/// staged kernels use this to label their phases on the timeline. Returns
+/// "" when `enabled` is false so markers stay free by default.
+std::string emit_marker(const std::string& id_sym, bool enabled);
+
 /// Address of the two barrier counters in the interleaved region.
 u32 barrier_counter0_addr(const arch::ClusterConfig& cfg);
 u32 barrier_counter1_addr(const arch::ClusterConfig& cfg);

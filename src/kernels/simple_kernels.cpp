@@ -485,7 +485,7 @@ std::string scalar_share_copy(const std::string& tag, const std::string& from_re
 }  // namespace
 
 Kernel build_axpy_staged(const arch::ClusterConfig& cfg, u32 n, i32 a, bool use_dma,
-                         u32 chunk, u64 seed) {
+                         u32 chunk, u64 seed, bool markers) {
   const u32 cores = cfg.num_cores();
   MP3D_CHECK(n % (4 * cores) == 0, "staged axpy n must be a multiple of 4*cores");
   SpmAllocator spm(cfg);
@@ -518,6 +518,7 @@ main:
     sw ra, 12(sp)
     csrr s0, mhartid
 )";
+  body += emit_marker(std::to_string(marker::kKernelStart), markers);
   if (use_dma) {
     body += stream_spmd_head();
   }
@@ -561,6 +562,7 @@ main:
     body += scalar_share_copy("ax_cpy", "s7", "s3");
     body += "    call _barrier\n";
   }
+  body += emit_marker(std::to_string(marker::kComputePhaseStart), markers);
   body += R"(    # compute this core's share: y += a * x (current pair)
     li t0, PC_CHUNK
     mul t1, s0, t0
@@ -590,6 +592,7 @@ ax_loop:
     addi t5, t5, -4
     bnez t5, ax_loop
 )";
+  body += emit_marker(std::to_string(marker::kComputePhaseEnd), markers);
   if (use_dma) {
     // Leaders drain the prefetch (descriptor-granular: the previous
     // chunk's write-back may stay in flight) before the barrier — a
@@ -627,12 +630,15 @@ ax_fill_done:
 )";
   if (use_dma) {
     // Drain the final write-back before core 0 can report EOC.
+    body += emit_marker(std::to_string(marker::kStorePhaseStart), markers);
     body += R"(    beqz s8, ax_drain_done
     call _dma_wait
 ax_drain_done:
     call _barrier
 )";
+    body += emit_marker(std::to_string(marker::kStorePhaseEnd), markers);
   }
+  body += emit_marker(std::to_string(marker::kKernelEnd), markers);
   body += R"(    li a0, 0
     lw ra, 12(sp)
     addi sp, sp, 16

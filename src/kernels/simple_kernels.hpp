@@ -47,9 +47,14 @@ Kernel build_memcpy(const arch::ClusterConfig& cfg, u32 n, u64 seed = 5);
 
 /// Staged AXPY: y[i] += a * x[i] over `n` gmem-resident int32 elements.
 /// `chunk` elements per staging step (0 = auto); must divide `n` and be a
-/// multiple of 4 * num_cores.
+/// multiple of 4 * num_cores. With `markers` set, core 0 labels the kernel
+/// and each chunk's compute phase plus the final drain through the MARKER
+/// register (kKernelStart/End, kComputePhaseStart/End,
+/// kStorePhaseStart/End) — visible in RunResult::markers and, with event
+/// tracing on, on the trace's marker row. Off by default: the marker
+/// instructions cost cycles.
 Kernel build_axpy_staged(const arch::ClusterConfig& cfg, u32 n, i32 a, bool use_dma,
-                         u32 chunk = 0, u64 seed = 2);
+                         u32 chunk = 0, u64 seed = 2, bool markers = false);
 
 /// Staged dot product of two `n`-element gmem-resident vectors; the result
 /// is accumulated with amoadd into an SPM word (same as `build_dotp`).

@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: Apache-2.0
+// Process-global telemetry collection for the experiment engine.
+//
+// The suite CLI (`--timeline N`, `--trace file`) must reach Clusters that
+// scenarios construct many layers down, without changing any scenario
+// code. The suite installs a global TelemetryRequest before running the
+// sweep; every Cluster (and the standalone gmem soak loop) checks it at
+// construction, enables the requested modes, and deposits its results
+// here when the run finishes. The runner labels each deposit with the
+// scenario name via a thread-local, and the suite drains the collected
+// timeline rows / trace fragments into files afterwards.
+//
+// Collection is deterministic because the suite forces --jobs 1 whenever
+// a request is active: deposits arrive in scenario order. The fast path
+// for the 99 % case — no request installed — is one relaxed atomic load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "exp/row.hpp"
+
+namespace mp3d::obs {
+
+class Telemetry;
+
+struct TelemetryRequest {
+  u32 sample_window = 0;
+  bool trace = false;
+  u64 trace_capacity = 1u << 20;
+
+  bool active() const { return sample_window > 0 || trace; }
+
+  arch::TelemetryConfig to_config() const {
+    arch::TelemetryConfig cfg;
+    cfg.sample_window = sample_window;
+    cfg.trace = trace;
+    cfg.trace_capacity = trace_capacity;
+    return cfg;
+  }
+};
+
+/// Install (or, with a default-constructed request, clear) the global
+/// request. Clears everything collected so far.
+void set_global_request(const TelemetryRequest& request);
+/// True when a request with at least one mode enabled is installed.
+bool global_request_active();
+/// The installed request (meaningful only when active).
+TelemetryRequest global_request();
+
+/// Label deposits from the current thread (the runner sets the scenario
+/// name before each run). Empty label → "run".
+void set_collect_label(const std::string& label);
+
+/// Deposit one finished run's telemetry. Timeline windows become
+/// long-format rows labeled with the collect label; trace events are
+/// serialized as Chrome JSON fragments under a per-run pid offset so all
+/// runs share one Perfetto file. Duplicate labels get #2, #3... suffixes.
+void collect_run(const Telemetry& telemetry);
+
+/// Everything deposited since the last set_global_request.
+std::vector<exp::Row> collected_timeline_rows();
+/// Complete Chrome trace-event JSON for all deposited runs.
+std::string collected_trace_json();
+
+}  // namespace mp3d::obs

@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: Apache-2.0
+// Bounded structured event trace for the cycle-accurate simulator.
+//
+// Components emit typed begin/end spans and instant events onto *tracks*
+// (a track is one timeline row: a core, a DMA engine, an arbiter traffic
+// class). Track registration maps each track to a Chrome trace-event
+// (pid, tid) pair so the exporter groups rows the way Perfetto renders
+// them: pid = group (or a pseudo-process like "gmem"), tid = core/engine.
+//
+// The buffer is preallocated and bounded; once full, events are dropped
+// and counted instead of growing without bound on a pathological run.
+// Event names are interned so the hot path stores a u32, not a string.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::obs {
+
+enum class Phase : u8 { kBegin, kEnd, kInstant };
+
+/// One timeline row in the exported trace.
+struct TraceTrack {
+  std::string process;  ///< Perfetto process name (e.g. "group0", "gmem")
+  std::string thread;   ///< Perfetto thread name (e.g. "core3", "dma0.0")
+  u32 pid = 0;
+  u32 tid = 0;
+};
+
+struct TraceEvent {
+  sim::Cycle cycle = 0;
+  u32 track = 0;  ///< index into tracks()
+  u32 name = 0;   ///< index into names()
+  Phase phase = Phase::kInstant;
+  u64 arg = 0;  ///< optional payload (bytes, ticket, marker id, ...)
+};
+
+class Trace {
+ public:
+  explicit Trace(u64 capacity);
+
+  /// Register a timeline row; returns the track handle events refer to.
+  u32 add_track(std::string process, u32 pid, std::string thread, u32 tid);
+  /// Intern an event name (idempotent; linear scan, call at setup time).
+  u32 intern(const std::string& name);
+
+  void begin(u32 track, u32 name, sim::Cycle cycle, u64 arg = 0) {
+    push(TraceEvent{cycle, track, name, Phase::kBegin, arg});
+  }
+  void end(u32 track, u32 name, sim::Cycle cycle, u64 arg = 0) {
+    push(TraceEvent{cycle, track, name, Phase::kEnd, arg});
+  }
+  void instant(u32 track, u32 name, sim::Cycle cycle, u64 arg = 0) {
+    push(TraceEvent{cycle, track, name, Phase::kInstant, arg});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceTrack>& tracks() const { return tracks_; }
+  const std::vector<std::string>& names() const { return names_; }
+  u64 capacity() const { return capacity_; }
+  u64 dropped() const { return dropped_; }
+
+  /// Drop buffered events (tracks and interned names survive; they are
+  /// per-cluster wiring, not per-run data).
+  void clear_events();
+
+ private:
+  void push(const TraceEvent& event) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(event);
+  }
+
+  u64 capacity_;
+  u64 dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<TraceTrack> tracks_;
+  std::vector<std::string> names_;
+};
+
+/// Serialize as a Chrome trace-event JSON object (Perfetto-loadable):
+/// one metadata record per process/thread name, then the events with
+/// ts = cycle. Deterministic: output bytes depend only on the trace.
+std::string to_chrome_json(const Trace& trace);
+
+/// Append this trace's metadata + events as JSON fragments to `out`
+/// (comma-joined, no surrounding array). `pid_offset` shifts every pid so
+/// multiple runs can share one file; `process_prefix` namespaces the
+/// process names (e.g. "soak_sat/"). Used by the suite-level collector.
+void append_chrome_events(std::string& out, const Trace& trace, u32 pid_offset,
+                          const std::string& process_prefix);
+
+}  // namespace mp3d::obs

@@ -26,6 +26,20 @@ void CounterSet::merge(const CounterSet& other) {
 
 void CounterSet::reset() { counters_.clear(); }
 
+CounterSet CounterSet::delta_from(const CounterSet& baseline) const {
+  CounterSet out;
+  for (const auto& [name, value] : counters_) {
+    const u64 base = baseline.get(name);
+    out.counters_[name] = value > base ? value - base : 0;
+  }
+  for (const auto& [name, value] : baseline.counters_) {
+    if (counters_.find(name) == counters_.end()) {
+      out.counters_[name] = 0;
+    }
+  }
+  return out;
+}
+
 std::string CounterSet::to_string() const {
   std::ostringstream oss;
   for (const auto& [name, value] : counters_) {

@@ -25,6 +25,14 @@ class CounterSet {
   void merge(const CounterSet& other);
   void reset();
 
+  /// Per-counter difference `*this - baseline` over the union of names.
+  /// Counters are cumulative within a run, so a negative difference means
+  /// the two sets come from different runs; it saturates to zero.
+  CounterSet delta_from(const CounterSet& baseline) const;
+
+  bool operator==(const CounterSet& other) const { return counters_ == other.counters_; }
+  bool operator!=(const CounterSet& other) const { return !(*this == other); }
+
   std::string to_string() const;
 
  private:

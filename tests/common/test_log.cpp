@@ -1,0 +1,97 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mp3d {
+namespace {
+
+// The sink is a plain function pointer, so captures go through a global.
+std::vector<std::pair<log::Level, std::string>> g_captured;
+
+void capture_sink(log::Level level, const std::string& msg) {
+  g_captured.emplace_back(level, msg);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_captured.clear();
+    previous_sink_ = log::set_sink(&capture_sink);
+    previous_threshold_ = log::threshold();
+  }
+  void TearDown() override {
+    log::set_sink(previous_sink_);
+    log::set_threshold(previous_threshold_);
+  }
+
+  log::Sink previous_sink_ = nullptr;
+  log::Level previous_threshold_ = log::Level::kWarn;
+};
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels) {
+  log::set_threshold(log::Level::kWarn);
+  MP3D_TRACE("trace message");
+  MP3D_DEBUG("debug message");
+  MP3D_INFO("info message");
+  MP3D_WARN("warn message");
+  MP3D_ERROR("error message");
+  ASSERT_EQ(g_captured.size(), 2U);
+  EXPECT_EQ(g_captured[0].first, log::Level::kWarn);
+  EXPECT_EQ(g_captured[0].second, "warn message");
+  EXPECT_EQ(g_captured[1].first, log::Level::kError);
+  EXPECT_EQ(g_captured[1].second, "error message");
+}
+
+TEST_F(LogTest, TraceLevelPassesEverything) {
+  log::set_threshold(log::Level::kTrace);
+  MP3D_TRACE("t");
+  MP3D_DEBUG("d");
+  MP3D_INFO("i");
+  EXPECT_EQ(g_captured.size(), 3U);
+}
+
+TEST_F(LogTest, OffSilencesEvenErrors) {
+  log::set_threshold(log::Level::kOff);
+  MP3D_ERROR("should not appear");
+  log::write(log::Level::kError, "write is unconditional");  // bypasses enabled()
+  EXPECT_TRUE(log::enabled(log::Level::kError) == false);
+  // MP3D_* macros guard on enabled(); only the raw write() lands.
+  ASSERT_EQ(g_captured.size(), 1U);
+  EXPECT_EQ(g_captured[0].second, "write is unconditional");
+}
+
+TEST_F(LogTest, EnabledMatchesThreshold) {
+  log::set_threshold(log::Level::kInfo);
+  EXPECT_FALSE(log::enabled(log::Level::kTrace));
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_TRUE(log::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+}
+
+TEST_F(LogTest, ExpressionNotEvaluatedWhenFiltered) {
+  log::set_threshold(log::Level::kWarn);
+  int evaluations = 0;
+  const auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  MP3D_TRACE(touch());
+  EXPECT_EQ(evaluations, 0);
+  MP3D_ERROR(touch());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, SetSinkReturnsPrevious) {
+  // SetUp installed capture_sink; installing another returns it.
+  const log::Sink prev = log::set_sink(nullptr);
+  EXPECT_EQ(prev, &capture_sink);
+  EXPECT_EQ(log::set_sink(&capture_sink), nullptr);
+}
+
+}  // namespace
+}  // namespace mp3d

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/prng.hpp"
 
 namespace mp3d {
@@ -44,6 +47,45 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
   EXPECT_DOUBLE_EQ(a.min(), all.min());
   EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, EmptyIsZero) {
+  std::vector<u64> v;
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsItself) {
+  std::vector<u64> v{42};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<u64> v{10, 20, 30, 40};  // ranks 0..3
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  // q = 0.5 -> rank 1.5 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  // q = 0.25 -> rank 0.75 -> 10 + 0.75 * (20 - 10).
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 17.5);
+}
+
+TEST(Percentile, SortsInPlaceAndClampsQ) {
+  std::vector<u64> v{30, 10, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 10.0);  // clamped to q = 0
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 30.0);   // clamped to q = 1
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Percentile, P99OnUniformRamp) {
+  std::vector<u64> v(100);
+  for (u64 i = 0; i < 100; ++i) {
+    v[i] = i + 1;  // 1..100
+  }
+  // rank = 0.99 * 99 = 98.01 -> between 99 and 100.
+  EXPECT_NEAR(percentile(v, 0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 50.5);
 }
 
 TEST(Histogram, BinningAndClamping) {

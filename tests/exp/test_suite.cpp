@@ -76,6 +76,35 @@ TEST(Cli, Errors) {
   EXPECT_NE(error.find("--filter"), std::string::npos);
 }
 
+TEST(Cli, TelemetryFlags) {
+  const CliOptions off = parse({});
+  EXPECT_EQ(off.timeline_window, 0u);
+  EXPECT_EQ(off.trace_file, "");
+  EXPECT_FALSE(off.telemetry());
+
+  const CliOptions o =
+      parse({"--timeline", "1024", "--trace", "events.json"});
+  EXPECT_EQ(o.timeline_window, 1024u);
+  EXPECT_EQ(o.trace_file, "events.json");
+  EXPECT_TRUE(o.telemetry());
+  EXPECT_TRUE(parse({"--timeline", "1024"}).telemetry());
+  EXPECT_TRUE(parse({"--trace", "t.json"}).telemetry());
+}
+
+TEST(Cli, TelemetryFlagErrors) {
+  std::string error;
+  parse({"--timeline"}, {}, &error);
+  EXPECT_NE(error.find("--timeline"), std::string::npos);
+  parse({"--timeline", "0"}, {}, &error);
+  EXPECT_NE(error.find("--timeline"), std::string::npos);
+  parse({"--timeline", "8"}, {}, &error);  // below the 16-cycle floor
+  EXPECT_NE(error.find("--timeline"), std::string::npos);
+  parse({"--timeline", "soon"}, {}, &error);
+  EXPECT_NE(error.find("--timeline"), std::string::npos);
+  parse({"--trace"}, {}, &error);
+  EXPECT_NE(error.find("--trace"), std::string::npos);
+}
+
 TEST(Cli, ExtraFlagsAreOptIn) {
   std::string error;
   parse({"--measure"}, {}, &error);

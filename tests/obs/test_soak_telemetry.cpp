@@ -1,0 +1,115 @@
+// SPDX-License-Identifier: Apache-2.0
+// The issue's acceptance scenario: a traced gmem soak with share=0 under
+// scalar saturation must make the starvation bug *visible* in the
+// telemetry — contiguous windows whose bulk_stall_cycles delta equals the
+// window size — and the bounded-share arbiter must erase it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/scenarios_gmem.hpp"
+#include "obs/collector.hpp"
+#include "obs/telemetry.hpp"
+
+namespace mp3d {
+namespace {
+
+exp::GmemSoakParams starved_params(u32 share) {
+  exp::GmemSoakParams p;
+  p.bytes_per_cycle = 4;
+  p.bulk_min_pct = share;
+  p.scalar_load_pct = exp::kSoakSaturatedLoadPct;
+  p.cycles = 4096;
+  p.telemetry.sample_window = 512;
+  p.telemetry.trace = true;
+  return p;
+}
+
+TEST(SoakTelemetry, StarvationShowsAsFullyStalledWindows) {
+  const exp::GmemSoakResult r = exp::run_gmem_soak(starved_params(0));
+  ASSERT_NE(r.telemetry, nullptr);
+  const obs::Timeline* tl = r.telemetry->timeline();
+  ASSERT_NE(tl, nullptr);
+  ASSERT_EQ(tl->windows().size(), 8U);
+
+  // Window 0 misses one stall cycle (detection lags the first step); every
+  // later window is wall-to-wall starved: stall delta == cycles delta.
+  EXPECT_EQ(tl->delta(0, "gmem.bulk_stall_cycles"), tl->delta(0, "cycles") - 1);
+  for (std::size_t i = 1; i < tl->windows().size(); ++i) {
+    EXPECT_EQ(tl->delta(i, "gmem.bulk_stall_cycles"), tl->delta(i, "cycles"))
+        << "window " << i << " must be contiguously starved";
+    EXPECT_EQ(tl->delta(i, "gmem.bulk_bytes"), 0U);
+  }
+}
+
+TEST(SoakTelemetry, BoundedShareErasesTheStalledWindows) {
+  const exp::GmemSoakResult r = exp::run_gmem_soak(starved_params(50));
+  const obs::Timeline* tl = r.telemetry->timeline();
+  ASSERT_EQ(tl->windows().size(), 8U);
+  for (std::size_t i = 0; i < tl->windows().size(); ++i) {
+    EXPECT_EQ(tl->delta(i, "gmem.bulk_stall_cycles"), 0U);
+    // Bulk draws roughly its guaranteed half of 4 B/cycle per window.
+    EXPECT_GE(tl->delta(i, "gmem.bulk_bytes"), 512U * 2 - 8);
+  }
+}
+
+TEST(SoakTelemetry, TraceShowsOneLongBulkStallSpan) {
+  const exp::GmemSoakResult r = exp::run_gmem_soak(starved_params(0));
+  const obs::Trace* trace = r.telemetry->trace();
+  ASSERT_NE(trace, nullptr);
+  // Starvation is one unbroken span: exactly one begin/end pair on the
+  // bulk track, stretched over (almost) the whole soak.
+  u64 begins = 0;
+  u64 ends = 0;
+  sim::Cycle begin_cycle = 0;
+  sim::Cycle end_cycle = 0;
+  for (const obs::TraceEvent& e : trace->events()) {
+    if (trace->names()[e.name] != "bulk_stall") {
+      continue;
+    }
+    if (e.phase == obs::Phase::kBegin) {
+      ++begins;
+      begin_cycle = e.cycle;
+    } else if (e.phase == obs::Phase::kEnd) {
+      ++ends;
+      end_cycle = e.cycle;
+    }
+  }
+  EXPECT_EQ(begins, 1U);
+  EXPECT_EQ(ends, 1U);
+  EXPECT_LE(begin_cycle, 2U);
+  EXPECT_EQ(end_cycle, 4096U);
+}
+
+TEST(SoakTelemetry, GlobalRequestReachesTheSoak) {
+  obs::TelemetryRequest request;
+  request.sample_window = 512;
+  obs::set_global_request(request);
+  obs::set_collect_label("soak_sat/share=0/bw=4");
+
+  exp::GmemSoakParams p = starved_params(0);
+  p.telemetry = arch::TelemetryConfig{};  // nothing requested locally
+  const exp::GmemSoakResult r = exp::run_gmem_soak(p);
+  ASSERT_NE(r.telemetry, nullptr) << "the global request must apply";
+
+  const std::vector<exp::Row> rows = obs::collected_timeline_rows();
+  obs::set_global_request({});
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().get("run"), "soak_sat/share=0/bw=4");
+  // Per-window latency gauges ride along with the counter deltas.
+  bool saw_p99 = false;
+  for (const exp::Row& row : rows) {
+    saw_p99 = saw_p99 || row.get("name") == "scalar_p99";
+  }
+  EXPECT_TRUE(saw_p99);
+}
+
+TEST(SoakTelemetry, NoTelemetryMeansNoCost) {
+  exp::GmemSoakParams p = starved_params(0);
+  p.telemetry = arch::TelemetryConfig{};
+  const exp::GmemSoakResult r = exp::run_gmem_soak(p);
+  EXPECT_EQ(r.telemetry, nullptr);
+}
+
+}  // namespace
+}  // namespace mp3d

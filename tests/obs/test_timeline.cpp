@@ -1,0 +1,112 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mp3d::obs {
+namespace {
+
+sim::CounterSet totals(u64 cycles, u64 bytes) {
+  sim::CounterSet c;
+  c.set("cycles", cycles);
+  c.set("gmem.bytes", bytes);
+  return c;
+}
+
+TEST(Timeline, WindowsStoreDeltasNotTotals) {
+  Timeline tl(100);
+  tl.sample(100, totals(100, 400), {});
+  tl.sample(200, totals(200, 1000), {});
+  ASSERT_EQ(tl.windows().size(), 2U);
+  EXPECT_EQ(tl.delta(0, "cycles"), 100U);
+  EXPECT_EQ(tl.delta(0, "gmem.bytes"), 400U);
+  EXPECT_EQ(tl.delta(1, "cycles"), 100U);
+  EXPECT_EQ(tl.delta(1, "gmem.bytes"), 600U);
+  EXPECT_EQ(tl.delta(1, "absent"), 0U);
+}
+
+TEST(Timeline, WindowBoundsAreInclusive) {
+  Timeline tl(100);
+  tl.sample(100, totals(100, 0), {});
+  tl.sample(200, totals(200, 0), {});
+  EXPECT_EQ(tl.windows()[0].cycle_lo, 0U);
+  EXPECT_EQ(tl.windows()[0].cycle_hi, 100U);
+  EXPECT_EQ(tl.windows()[1].cycle_lo, 101U);
+  EXPECT_EQ(tl.windows()[1].cycle_hi, 200U);
+  EXPECT_EQ(tl.next_lo(), 201U);
+}
+
+TEST(Timeline, FinalPartialWindow) {
+  Timeline tl(100);
+  tl.sample(100, totals(100, 100), {});
+  EXPECT_EQ(tl.next_lo(), 101U);
+  // The run ends at cycle 137: a 37-cycle partial window remains.
+  tl.sample(137, totals(137, 160), {});
+  ASSERT_EQ(tl.windows().size(), 2U);
+  EXPECT_EQ(tl.windows()[1].cycle_lo, 101U);
+  EXPECT_EQ(tl.windows()[1].cycle_hi, 137U);
+  EXPECT_EQ(tl.delta(1, "cycles"), 37U);
+  EXPECT_EQ(tl.delta(1, "gmem.bytes"), 60U);
+}
+
+TEST(Timeline, GaugesAreLevelsNotDeltas) {
+  Timeline tl(10);
+  std::vector<std::pair<std::string, double>> g;
+  g.emplace_back("backlog", 128.0);
+  tl.sample(10, totals(10, 0), std::move(g));
+  ASSERT_EQ(tl.windows()[0].gauges.size(), 1U);
+  EXPECT_EQ(tl.windows()[0].gauges[0].first, "backlog");
+  EXPECT_DOUBLE_EQ(tl.windows()[0].gauges[0].second, 128.0);
+}
+
+TEST(Timeline, ClearRestartsTheRun) {
+  Timeline tl(10);
+  tl.sample(10, totals(10, 500), {});
+  tl.clear();
+  EXPECT_TRUE(tl.windows().empty());
+  EXPECT_EQ(tl.next_lo(), 0U);
+  // After clear, deltas are against zero again, not the old snapshot.
+  tl.sample(10, totals(10, 700), {});
+  EXPECT_EQ(tl.delta(0, "gmem.bytes"), 700U);
+}
+
+TEST(Timeline, ToRowsLongFormatSchema) {
+  Timeline tl(10);
+  std::vector<std::pair<std::string, double>> g;
+  g.emplace_back("cores_awake", 3.0);
+  tl.sample(10, totals(10, 40), std::move(g));
+  const std::vector<exp::Row> rows = tl.to_rows("soak/share=0");
+  // One row per counter delta plus one per gauge.
+  ASSERT_EQ(rows.size(), 3U);
+  for (const exp::Row& row : rows) {
+    EXPECT_EQ(row.get("run"), "soak/share=0");
+    EXPECT_EQ(row.get("window"), "0");
+    EXPECT_EQ(row.get("cycle_lo"), "0");
+    EXPECT_EQ(row.get("cycle_hi"), "10");
+    EXPECT_FALSE(row.get("kind").empty());
+    EXPECT_FALSE(row.get("name").empty());
+    EXPECT_FALSE(row.get("value").empty());
+  }
+  // Counter rows are kind=delta; gauge rows are kind=level.
+  EXPECT_EQ(rows[0].get("kind"), "delta");
+  EXPECT_EQ(rows.back().get("kind"), "level");
+  EXPECT_EQ(rows.back().get("name"), "cores_awake");
+}
+
+TEST(Timeline, RejectsZeroWindow) {
+  EXPECT_THROW(Timeline(0), std::invalid_argument);
+}
+
+TEST(Timeline, RejectsOutOfOrderSamples) {
+  Timeline tl(10);
+  tl.sample(10, totals(10, 0), {});
+  EXPECT_THROW(tl.sample(5, totals(5, 0), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp3d::obs

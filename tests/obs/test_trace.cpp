@@ -1,0 +1,164 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace mp3d::obs {
+namespace {
+
+TEST(Trace, InternIsIdempotent) {
+  Trace trace(16);
+  const u32 a = trace.intern("dma_staged");
+  const u32 b = trace.intern("bulk_stall");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace.intern("dma_staged"), a);
+  EXPECT_EQ(trace.intern("bulk_stall"), b);
+  ASSERT_EQ(trace.names().size(), 2U);
+  EXPECT_EQ(trace.names()[a], "dma_staged");
+}
+
+TEST(Trace, BoundedBufferDropsAndCounts) {
+  Trace trace(4);
+  const u32 t = trace.add_track("p", 0, "t", 0);
+  const u32 n = trace.intern("e");
+  for (u64 c = 1; c <= 10; ++c) {
+    trace.instant(t, n, c);
+  }
+  EXPECT_EQ(trace.events().size(), 4U);
+  EXPECT_EQ(trace.dropped(), 6U);
+  // The retained events are the earliest ones.
+  EXPECT_EQ(trace.events().front().cycle, 1U);
+  EXPECT_EQ(trace.events().back().cycle, 4U);
+}
+
+TEST(Trace, ClearEventsKeepsTracksAndNames) {
+  Trace trace(2);
+  const u32 t = trace.add_track("p", 0, "t", 0);
+  const u32 n = trace.intern("e");
+  trace.instant(t, n, 1);
+  trace.instant(t, n, 2);
+  trace.instant(t, n, 3);  // dropped
+  EXPECT_EQ(trace.dropped(), 1U);
+  trace.clear_events();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.dropped(), 0U);
+  EXPECT_EQ(trace.tracks().size(), 1U);
+  EXPECT_EQ(trace.names().size(), 1U);
+  trace.instant(t, n, 4);  // buffer usable again
+  EXPECT_EQ(trace.events().size(), 1U);
+}
+
+TEST(Trace, SpanAndInstantRecordPhases) {
+  Trace trace(16);
+  const u32 t = trace.add_track("gmem", 7, "bulk", 3);
+  const u32 stall = trace.intern("bulk_stall");
+  trace.begin(t, stall, 10, 99);
+  trace.end(t, stall, 20);
+  trace.instant(t, stall, 15, 5);
+  ASSERT_EQ(trace.events().size(), 3U);
+  EXPECT_EQ(trace.events()[0].phase, Phase::kBegin);
+  EXPECT_EQ(trace.events()[0].arg, 99U);
+  EXPECT_EQ(trace.events()[1].phase, Phase::kEnd);
+  EXPECT_EQ(trace.events()[2].phase, Phase::kInstant);
+  EXPECT_EQ(trace.tracks()[t].pid, 7U);
+  EXPECT_EQ(trace.tracks()[t].tid, 3U);
+}
+
+// Structural validation of the Chrome trace-event export without a JSON
+// library: balanced delimiters, required keys, metadata records, and
+// begin/end pairing.
+TEST(Trace, ChromeJsonIsStructurallyValid) {
+  Trace trace(64);
+  const u32 core = trace.add_track("group0", 0, "core1", 1);
+  const u32 eng = trace.add_track("group0", 0, "dma0.0", 100000);
+  const u32 wfi = trace.intern("wfi");
+  const u32 xfer = trace.intern("dma_xfer");
+  trace.begin(core, wfi, 5);
+  trace.begin(eng, xfer, 7, 1);
+  trace.end(eng, xfer, 30, 1);
+  trace.end(core, wfi, 31);
+  trace.instant(eng, trace.intern("dma_retired"), 33, 1);
+
+  const std::string json = to_chrome_json(trace);
+
+  // Balanced braces/brackets (no strings in our payload contain them).
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"cycles\""), std::string::npos);
+  // Metadata names both tracks and the process.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"group0\""), std::string::npos);
+  EXPECT_NE(json.find("\"dma0.0\""), std::string::npos);
+  // Events carry the required keys.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mp3d\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":5"), std::string::npos);
+
+  // Begin/end counts match per phase letter.
+  const auto count = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"B\""), count("\"ph\":\"E\""));
+  EXPECT_EQ(count("\"ph\":\"i\""), 1U);
+}
+
+TEST(Trace, ChromeJsonReportsDrops) {
+  Trace trace(1);
+  const u32 t = trace.add_track("p", 0, "t", 0);
+  const u32 n = trace.intern("e");
+  trace.instant(t, n, 1);
+  trace.instant(t, n, 2);
+  const std::string json = to_chrome_json(trace);
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+}
+
+TEST(Trace, AppendOffsetsPidsAndPrefixesProcesses) {
+  Trace trace(8);
+  const u32 t = trace.add_track("gmem", 2, "bulk", 0);
+  trace.instant(t, trace.intern("e"), 1);
+
+  std::string out;
+  append_chrome_events(out, trace, 0, "");
+  append_chrome_events(out, trace, 1000, "soak/");
+  EXPECT_NE(out.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":1002"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"soak/gmem\""), std::string::npos);
+}
+
+TEST(Trace, DeterministicBytes) {
+  const auto build = [] {
+    Trace trace(32);
+    const u32 a = trace.add_track("group0", 0, "core0", 0);
+    const u32 n = trace.intern("wfi");
+    trace.begin(a, n, 3);
+    trace.end(a, n, 9);
+    return to_chrome_json(trace);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace mp3d::obs

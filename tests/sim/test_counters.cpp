@@ -41,6 +41,34 @@ TEST(CounterSet, ResetClears) {
   EXPECT_FALSE(c.has("x"));
 }
 
+TEST(CounterSet, DeltaFromBaseline) {
+  CounterSet before;
+  before.set("x", 10);
+  before.set("gone", 5);
+  CounterSet after;
+  after.set("x", 25);
+  after.set("fresh", 7);
+  const CounterSet d = after.delta_from(before);
+  EXPECT_EQ(d.get("x"), 15U);
+  EXPECT_EQ(d.get("fresh"), 7U);
+  // A counter that only the baseline has (or that went backwards)
+  // saturates at zero instead of wrapping.
+  EXPECT_EQ(d.get("gone"), 0U);
+  EXPECT_TRUE(d.has("gone"));
+}
+
+TEST(CounterSet, EqualityComparesAllCounters) {
+  CounterSet a;
+  CounterSet b;
+  EXPECT_TRUE(a == b);
+  a.set("x", 1);
+  EXPECT_TRUE(a != b);
+  b.set("x", 1);
+  EXPECT_TRUE(a == b);
+  b.set("y", 0);
+  EXPECT_TRUE(a != b);  // same values, different name sets
+}
+
 TEST(CounterSet, ToStringListsAll) {
   CounterSet c;
   c.bump("alpha", 1);
