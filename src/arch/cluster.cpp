@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "obs/collector.hpp"
 #include "obs/telemetry.hpp"
+#include "qos/adaptive_share.hpp"
 
 namespace mp3d::arch {
 
@@ -54,6 +55,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
                                          cfg_.gmem_bytes_per_cycle, cfg_.gmem_latency,
                                          cfg_.gmem_arbiter);
   dma_ = std::make_unique<DmaSubsystem>(cfg_);
+  if (cfg_.qos.enabled) {
+    qos_ = std::make_unique<qos::AdaptiveShareController>(cfg_.qos, *gmem_);
+  }
   dma_stage_.resize(cfg_.num_cores());
   dma_wake_armed_.assign(cfg_.num_cores(), 0);
   dma_wait_target_.assign(cfg_.num_cores(), 0);
@@ -113,6 +117,9 @@ void Cluster::init_telemetry() {
   const u32 bulk = trace_->add_track("gmem", gmem_pid, "bulk", 0);
   const u32 scalar = trace_->add_track("gmem", gmem_pid, "scalar", 1);
   gmem_->set_trace(trace_, bulk, scalar);
+  if (qos_ != nullptr) {
+    qos_->set_trace(trace_, trace_->add_track("gmem", gmem_pid, "qos", 2));
+  }
   marker_track_ = trace_->add_track("kernel", gmem_pid + 1, "markers", 0);
   ev_marker_ = trace_->intern("marker");
 }
@@ -147,6 +154,10 @@ void Cluster::load_program(const isa::Program& program) {
   // back-to-back runs on one cluster start from an identical state (memory
   // *contents* persist; reloading inputs is the kernel init hook's job).
   gmem_->reset_run_state();
+  if (qos_ != nullptr) {
+    qos_->reset();  // after gmem: restores the initial live share
+  }
+  gmem_issue_cycles_.clear();
   noc_->reset_run_state();
   for (SpmBank& bank : banks_) {
     bank.reset_run_state();
@@ -291,6 +302,9 @@ IssueResult Cluster::issue_mem(const MemRequest& request) {
     }
     case Region::kGmem: {
       gmem_->enqueue(request, cycle_);
+      if (qos_ != nullptr) {
+        gmem_issue_cycles_.push_back(cycle_);
+      }
       ++activity_;
       return IssueResult::kAccepted;
     }
@@ -665,6 +679,12 @@ void Cluster::step() {
     ++activity_;
   }
   for (const MemResponse& resp : gmem_responses_) {
+    if (qos_ != nullptr) {
+      // FIFO service order: responses complete in issue order (refills
+      // travel in their own vector), so the front stamp is this response's.
+      qos_->observe_scalar_latency(cycle_ - gmem_issue_cycles_.front());
+      gmem_issue_cycles_.pop_front();
+    }
     deliver_response_to_core(resp);
   }
 
@@ -672,6 +692,13 @@ void Cluster::step() {
   // scalar and refill traffic left over, moving words straight into the
   // SPM banks through the engines' dedicated wide port.
   activity_ += dma_->step(cycle_, *gmem_, *this);
+
+  // 1c. Adaptive gmem-share controller: on its window boundaries, observe
+  // the closed window's scalar p99 + bulk pressure and re-actuate the
+  // live share (one compare per cycle otherwise).
+  if (qos_ != nullptr) {
+    qos_->step(cycle_);
+  }
 
   // 2. Request network.
   noc_->step_requests(cycle_, [this](u32 dst_tile, BankRequest&& breq) {
@@ -762,6 +789,9 @@ void Cluster::collect_counters(sim::CounterSet& counters) const {
   noc_->add_counters(counters);
   gmem_->add_counters(counters);
   dma_->add_counters(counters);
+  if (qos_ != nullptr) {
+    qos_->add_counters(counters);
+  }
   counters.set("dma.wakes", dma_wakes_);
   counters.set("dma.wakes_suppressed", dma_wakes_suppressed_);
   counters.set("dma.status_reads", dma_status_reads_);

@@ -39,6 +39,10 @@ class Telemetry;
 class Trace;
 }
 
+namespace mp3d::qos {
+class AdaptiveShareController;
+}
+
 namespace mp3d::arch {
 
 /// Control-peripheral register offsets (relative to ClusterConfig::ctrl_base).
@@ -153,6 +157,10 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   GlobalMemory& gmem() { return *gmem_; }
   Interconnect& interconnect() { return *noc_; }
   DmaSubsystem& dma() { return *dma_; }
+  /// The adaptive gmem-share controller, or nullptr when
+  /// ClusterConfig::qos is disabled.
+  qos::AdaptiveShareController* qos_controller() { return qos_.get(); }
+  const qos::AdaptiveShareController* qos_controller() const { return qos_.get(); }
 
   /// Pre-warm all instruction caches with every code segment (the paper
   /// measures compute phases with a hot I$).
@@ -207,6 +215,11 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   std::unique_ptr<Interconnect> noc_;
   std::unique_ptr<GlobalMemory> gmem_;
   std::unique_ptr<DmaSubsystem> dma_;
+  std::unique_ptr<qos::AdaptiveShareController> qos_;
+  /// Issue cycles of in-flight scalar gmem requests (FIFO service order
+  /// matches response order), feeding the QoS controller's per-request
+  /// latency observations. Maintained only while qos_ exists.
+  std::deque<sim::Cycle> gmem_issue_cycles_;
   std::unique_ptr<DecodedImage> image_;
 
   /// Per-core DMA staging registers (the ctrl frontend's programming model).

@@ -198,6 +198,9 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
   }
   pending_bulk_demand_ = bulk_demand_bytes;
   bulk_granted_in_cycle_ = 0;
+  if (bulk_demand_bytes > 0) {
+    ++bulk_demand_cycles_;
+  }
 
   // Refresh the cycle's byte budget. Bandwidth does not accumulate across
   // idle cycles (a DDR channel cannot bank unused cycles).
@@ -227,6 +230,7 @@ void GlobalMemory::step(sim::Cycle now, std::vector<MemResponse>& responses,
       bulk_credit_x100_ = 0;
     }
   }
+  bulk_reserve_in_cycle_ = reserve;
 
   u64 scalar_budget = budget_ - reserve;
   const bool was_busy = !queue_.empty();
@@ -284,14 +288,39 @@ u32 GlobalMemory::claim_bulk(u32 bytes, sim::Cycle now) {
   bytes_transferred_ += granted;
   bulk_bytes_ += granted;
   bulk_granted_in_cycle_ += granted;
-  // Spend reserve credit first; bytes granted beyond the credit came from
-  // the scalar FIFO's leftovers and are free.
-  bulk_credit_x100_ -= std::min<u64>(bulk_credit_x100_, static_cast<u64>(granted) * 100);
+  // Charge the credit only for the bytes this cycle's *reserve* funded;
+  // bytes granted beyond it came from the scalar FIFO's leftovers and are
+  // free. (Charging every granted byte would let a leftover-funded grant
+  // wipe the fractional credit a small share accrues across cycles.)
+  const u64 from_reserve = std::min<u64>(granted, bulk_reserve_in_cycle_);
+  bulk_reserve_in_cycle_ -= from_reserve;
+  bulk_credit_x100_ -= std::min<u64>(bulk_credit_x100_, from_reserve * 100);
   if (granted > 0 && busy_stamp_ != now) {
     busy_stamp_ = now;
     ++busy_cycles_;
   }
   return granted;
+}
+
+void GlobalMemory::set_bulk_share(u32 bulk_min_pct) {
+  MP3D_CHECK(bulk_min_pct <= 90,
+             "bulk minimum share must leave scalar traffic at least 10 %");
+  if (bulk_min_pct == arbiter_.bulk_min_pct) {
+    return;
+  }
+  arbiter_.bulk_min_pct = bulk_min_pct;
+  if (bulk_min_pct == 0) {
+    // Back to the legacy absolute-priority policy: no guarantee, no credit.
+    bulk_credit_x100_ = 0;
+    bulk_reserve_in_cycle_ = 0;
+    return;
+  }
+  // Rescale outstanding credit to the new share's deficit cap so a
+  // freshly-decayed share cannot keep bursting bulk traffic out of credit
+  // earned under the old, larger guarantee.
+  const u64 cap = static_cast<u64>(arbiter_.deficit_cap_cycles) *
+                  bytes_per_cycle_ * arbiter_.bulk_min_pct;
+  bulk_credit_x100_ = std::min(bulk_credit_x100_, cap);
 }
 
 void GlobalMemory::set_trace(obs::Trace* trace, u32 bulk_track, u32 scalar_track) {
@@ -327,6 +356,7 @@ void GlobalMemory::reset_run_state() {
   bulk_credit_x100_ = 0;
   pending_bulk_demand_ = 0;
   bulk_granted_in_cycle_ = 0;
+  bulk_reserve_in_cycle_ = 0;
   bulk_credit_accrued_x100_ = 0;
   in_bulk_stall_ = false;
   in_scalar_stall_ = false;
@@ -337,6 +367,7 @@ void GlobalMemory::reset_run_state() {
   requests_served_ = 0;
   scalar_stall_cycles_ = 0;
   bulk_stall_cycles_ = 0;
+  bulk_demand_cycles_ = 0;
   busy_stamp_ = ~sim::Cycle{0};
 }
 
@@ -348,6 +379,7 @@ void GlobalMemory::add_counters(sim::CounterSet& counters) const {
   counters.set("gmem.requests", requests_served_);
   counters.set("gmem.scalar_stall_cycles", scalar_stall_cycles_);
   counters.set("gmem.bulk_stall_cycles", bulk_stall_cycles_);
+  counters.set("gmem.bulk_demand_cycles", bulk_demand_cycles_);
   if (arbiter_.bulk_min_pct > 0) {
     counters.set("gmem.bulk_credit_accrued_x100", bulk_credit_accrued_x100_);
   }

@@ -78,6 +78,14 @@ class GlobalMemory {
   u32 latency() const { return latency_; }
   const GmemArbiterConfig& arbiter() const { return arbiter_; }
 
+  /// Change the live bulk guarantee (the QoS controller's actuator).
+  /// Validated like GmemArbiterConfig::bulk_min_pct (throws
+  /// std::invalid_argument above 90). Outstanding deficit credit is
+  /// rescaled to the new share's cap — and dropped entirely when the
+  /// share is lowered to zero — so a decayed share cannot keep bursting
+  /// bulk traffic out of credit earned under the old, larger guarantee.
+  void set_bulk_share(u32 bulk_min_pct);
+
   /// Attach the event trace (nullptr detaches). `bulk_track`/`scalar_track`
   /// are the trace rows for the two traffic classes; the arbiter emits
   /// stall spans on them and deficit-reset instants on the bulk row.
@@ -90,6 +98,11 @@ class GlobalMemory {
   u64 bytes_transferred() const { return bytes_transferred_; }
   u64 scalar_bytes() const { return scalar_bytes_; }
   u64 bulk_bytes() const { return bulk_bytes_; }
+  u64 bulk_stall_cycles() const { return bulk_stall_cycles_; }
+  u64 scalar_stall_cycles() const { return scalar_stall_cycles_; }
+  /// Cycles step() was handed nonzero bulk demand (the QoS controller's
+  /// demand-pressure signal; counted under every policy, share 0 included).
+  u64 bulk_demand_cycles() const { return bulk_demand_cycles_; }
   void add_counters(sim::CounterSet& counters) const;
 
   /// Drop queued/in-flight traffic, LR reservations and arbiter credit,
@@ -131,6 +144,7 @@ class GlobalMemory {
   u64 bulk_credit_x100_ = 0;
   u64 pending_bulk_demand_ = 0;   ///< demand reported to the last step()
   u64 bulk_granted_in_cycle_ = 0; ///< bytes claim_bulk granted since last step()
+  u64 bulk_reserve_in_cycle_ = 0; ///< credit-funded bytes still claimable this cycle
   u64 bulk_credit_accrued_x100_ = 0;  ///< lifetime accrual (statistic only)
 
   // ---- event trace (optional; null when telemetry is off) -----------------
@@ -157,6 +171,7 @@ class GlobalMemory {
   u64 requests_served_ = 0;
   u64 scalar_stall_cycles_ = 0;  ///< scalar queued but granted 0 B (reserve)
   u64 bulk_stall_cycles_ = 0;    ///< bulk demand present but granted 0 B
+  u64 bulk_demand_cycles_ = 0;   ///< cycles stepped with nonzero bulk demand
   sim::Cycle busy_stamp_ = ~sim::Cycle{0};  ///< last cycle counted as busy
 
   static constexpr u32 kPageWords = 16384;  ///< 64 KiB pages

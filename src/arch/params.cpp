@@ -35,6 +35,22 @@ void ClusterConfig::validate() const {
   MP3D_CHECK(gmem_arbiter.deficit_cap_cycles >= 1 &&
                  gmem_arbiter.deficit_cap_cycles <= 1024,
              "bulk deficit cap must be in 1..1024 cycles");
+  if (qos.enabled) {
+    MP3D_CHECK(qos.max_pct <= 90,
+               "adaptive share ceiling must leave scalar traffic at least 10 %");
+    MP3D_CHECK(qos.min_pct <= qos.max_pct,
+               "adaptive share floor must not exceed the ceiling");
+    MP3D_CHECK(qos.step_pct >= 1 && qos.step_pct <= 90,
+               "adaptive share step must be in 1..90 %");
+    MP3D_CHECK(qos.window >= 16,
+               "adaptive share windows below 16 cycles measure noise, not load");
+    MP3D_CHECK(qos.p99_budget >= 1, "scalar p99 budget must be positive");
+    MP3D_CHECK(qos.raise_stall_pct <= 100 && qos.raise_demand_pct <= 100,
+               "raise thresholds are percentages of the window");
+    MP3D_CHECK(gmem_arbiter.bulk_min_pct >= qos.min_pct &&
+                   gmem_arbiter.bulk_min_pct <= qos.max_pct,
+               "initial bulk share must lie within the controller's bounds");
+  }
   MP3D_CHECK(lsu_max_outstanding >= 1 && lsu_max_outstanding <= 32,
              "LSU outstanding must be in 1..32");
   MP3D_CHECK(mul_latency >= 1, "multiplier latency must be at least one cycle");
@@ -65,6 +81,10 @@ std::string ClusterConfig::to_string() const {
       << dma.bytes_per_cycle << " B/cycle";
   if (gmem_arbiter.bulk_min_pct > 0) {
     oss << ", bulk min share " << gmem_arbiter.bulk_min_pct << " %";
+  }
+  if (qos.enabled) {
+    oss << ", adaptive share " << qos.min_pct << ".." << qos.max_pct
+        << " % (window " << qos.window << ")";
   }
   if (telemetry.sample_window > 0) {
     oss << ", telemetry window " << telemetry.sample_window;

@@ -39,6 +39,30 @@ struct GmemArbiterConfig {
   u32 deficit_cap_cycles = 8;  ///< deficit carry-over cap, in cycles of guarantee
 };
 
+/// Adaptive gmem-share controller (qos::AdaptiveShareController): closes
+/// the loop on the bounded-share arbiter by observing fixed-cycle windows
+/// of scalar completion latency and bulk stall/demand pressure, then
+/// raising or decaying GlobalMemory's live bulk share between
+/// `min_pct`..`max_pct`. Off by default — the static GmemArbiterConfig
+/// policy (and every paper figure) is untouched unless `enabled` is set.
+///
+/// Policy per window: if the window's scalar p99 exceeds `p99_budget`
+/// the share is halved (multiplicative decrease, floored at `min_pct`);
+/// otherwise, if bulk pressure is present — stall cycles above
+/// `raise_stall_pct` percent of the window, or bulk demand in at least
+/// `raise_demand_pct` percent of it — the share is raised by `step_pct`
+/// (capped at `max_pct`).
+struct AdaptiveShareConfig {
+  bool enabled = false;
+  u32 min_pct = 0;        ///< decay floor of the live bulk share, percent
+  u32 max_pct = 60;       ///< raise ceiling, percent (<= 90 like the arbiter)
+  u32 step_pct = 5;       ///< additive raise step, percent
+  u32 window = 256;       ///< decision window, cycles (>= 16)
+  u32 p99_budget = 48;    ///< scalar p99 decay threshold, cycles
+  u32 raise_stall_pct = 10;   ///< bulk stall cycles per window that trigger a raise, %
+  u32 raise_demand_pct = 50;  ///< bulk demand cycles per window that trigger a raise, %
+};
+
 /// Simulation telemetry (src/obs). Both modes are off by default and the
 /// simulator pays nothing for them when disabled: the per-cycle hot path
 /// only ever compares the cycle against a sample deadline that is parked
@@ -98,6 +122,7 @@ struct ClusterConfig {
   u32 gmem_bytes_per_cycle = 16;  ///< paper sweeps 4..64 B/cycle
   u32 gmem_latency = 4;           ///< idealized, as in the paper's model
   GmemArbiterConfig gmem_arbiter; ///< scalar-vs-bulk channel arbitration
+  AdaptiveShareConfig qos;        ///< dynamic bulk-share controller (off by default)
 
   // ----- per-group DMA engines ---------------------------------------------
   DmaConfig dma;

@@ -45,18 +45,28 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double percentile(std::vector<u64>& samples, double q) {
+double percentile(const std::vector<u64>& samples, double q) {
   if (samples.empty()) {
     return 0.0;
   }
   q = std::min(1.0, std::max(0.0, q));
-  std::sort(samples.begin(), samples.end());
   const double rank = q * static_cast<double>(samples.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return static_cast<double>(samples[lo]) * (1.0 - frac) +
-         static_cast<double>(samples[hi]) * frac;
+  // Select on a scratch copy: callers (per-window telemetry gauges, the QoS
+  // controller) reuse their sample buffers and must not see them reordered.
+  std::vector<u64> scratch(samples);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(lo), scratch.end());
+  const double at_lo = static_cast<double>(scratch[lo]);
+  double at_hi = at_lo;
+  if (hi != lo) {
+    at_hi = static_cast<double>(
+        *std::min_element(scratch.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                          scratch.end()));
+  }
+  return at_lo * (1.0 - frac) + at_hi * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -85,6 +95,16 @@ double Histogram::quantile(double q) const {
   }
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
+  if (target == 0.0) {
+    // q == 0: the minimum of the recorded mass. An empty leading bin would
+    // satisfy `next >= 0` below and wrongly report `lo_`, so walk to the
+    // first bin that actually holds mass.
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) {
+        return bin_lo(i);
+      }
+    }
+  }
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);

@@ -37,10 +37,12 @@ class RunningStats {
 };
 
 /// Percentile of `samples` by linear interpolation between order statistics
-/// (the rank is q*(n-1); fractional ranks blend the two neighbours). Sorts
-/// `samples` in place. Returns 0 for an empty vector and the sole value for
-/// n == 1. `q` is clamped into [0, 1].
-double percentile(std::vector<u64>& samples, double q);
+/// (the rank is q*(n-1); fractional ranks blend the two neighbours). The
+/// caller's vector is left untouched — selection runs on an internal copy —
+/// so per-window telemetry gauges can reuse the same sample buffer. Returns
+/// 0 for an empty vector and the sole value for n == 1. `q` is clamped into
+/// [0, 1].
+double percentile(const std::vector<u64>& samples, double q);
 
 /// Fixed-range histogram with uniform bins; values outside the range are
 /// clamped into the first/last bin.

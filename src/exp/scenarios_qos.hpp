@@ -1,0 +1,113 @@
+// SPDX-License-Identifier: Apache-2.0
+// Mixed-tenancy QoS scenario definitions: the sweep behind bench/gmem_qos.
+//
+// One latency-critical scalar service shares the off-chip channel with
+// streaming DMA tenants. The scalar tenant is *bursty*: short phases that
+// oversaturate the channel (a latency-critical service absorbing request
+// spikes) separated by long quiet phases at a trickle load. The bulk
+// tenants stream continuously with aggregate offered rate above the
+// channel width, so the channel never idles and every byte the scalar
+// class does not take is a byte of bulk throughput.
+//
+// Against this mix the sweep charts the scalar-p99 vs bulk-throughput
+// Pareto front over {policy} x {offered load} x {bandwidth}:
+//   - qos_static:   a fixed `bulk_min_pct` share. During a scalar burst a
+//     nonzero guarantee keeps feeding bulk while the latency-critical
+//     backlog drains, multiplying the scalar tail; during quiet phases the
+//     guarantee buys nothing that channel leftovers would not already
+//     provide. Every static setting is a compromise across phases.
+//   - qos_adaptive: the qos::AdaptiveShareController closing the loop at
+//     runtime — raising the share while bulk demand is sustained and the
+//     windowed scalar p99 is within budget, shedding it multiplicatively
+//     within a couple of windows of burst onset.
+//
+// The headline bench gate checks that the controller Pareto-dominates or
+// ties every static share (p99 no worse than the best static, bulk
+// throughput no worse than the best static) and strictly beats at least
+// one, on two or more bandwidth points.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "common/units.hpp"
+#include "exp/scenario.hpp"
+
+namespace mp3d::obs {
+class Telemetry;
+}
+
+namespace mp3d::exp {
+
+/// Mixed-tenancy channel soak on a standalone GlobalMemory.
+struct QosSoakParams {
+  u32 bytes_per_cycle = 4;
+  u32 latency = 4;
+  u32 deficit_cap_cycles = 8;  ///< GmemArbiterConfig::deficit_cap_cycles
+
+  // Scalar tenant: duty-cycled word stream. Loads are percent of the
+  // channel's byte rate; burst_load_pct > 100 oversaturates so a backlog
+  // builds and drains into the quiet phase (the latency tail under test).
+  u32 burst_period = 4096;   ///< cycles per burst+quiet period
+  u32 burst_cycles = 512;    ///< leading cycles of each period at burst load
+  u32 burst_load_pct = 180;  ///< offered scalar load during bursts
+  u32 quiet_load_pct = 10;   ///< offered scalar load between bursts
+
+  /// Streaming bulk tenants, one offered rate each (percent of channel).
+  /// Their aggregate should exceed 100 so bulk demand never dries up.
+  std::vector<u32> bulk_rates_pct{90, 70};
+
+  /// Static policy: the fixed share. Adaptive policy: the initial share
+  /// (clamped into the controller's bounds).
+  u32 bulk_min_pct = 0;
+  /// When `qos.enabled`, run the AdaptiveShareController against the
+  /// channel instead of holding `bulk_min_pct` fixed.
+  arch::AdaptiveShareConfig qos;
+
+  u64 cycles = 32768;  ///< keep a multiple of burst_period (ends drained)
+  /// Optional telemetry, as in GmemSoakParams; an active obs global
+  /// request (--timeline/--trace) applies when unset here.
+  arch::TelemetryConfig telemetry;
+};
+
+struct QosSoakResult {
+  u64 scalar_completed = 0;    ///< scalar responses received
+  u64 scalar_backlog_end = 0;  ///< scalar requests still queued at the end
+  u64 scalar_bytes = 0;
+  u64 bulk_bytes = 0;
+  std::vector<u64> bulk_tenant_bytes;  ///< per-tenant delivered bytes
+  u64 bulk_stall_cycles = 0;
+  double scalar_p50 = 0.0;  ///< enqueue-to-response latency [cycles]
+  double scalar_p99 = 0.0;
+  double bulk_throughput = 0.0;  ///< bulk bytes / (cycles x channel rate)
+  double channel_util = 0.0;     ///< all bytes / (cycles x channel rate)
+  u32 share_final = 0;           ///< live share when the run ended
+  double share_avg_pct = 0.0;    ///< cycle-weighted average live share
+  u64 adjustments = 0;           ///< controller share changes (0 for static)
+  std::shared_ptr<obs::Telemetry> telemetry;
+};
+
+/// Run the mixed-tenancy soak cycle by cycle: scalar burst generator and
+/// bulk tenant backlogs against one GlobalMemory, optionally governed by
+/// an AdaptiveShareController. Deterministic (pure integer state).
+QosSoakResult run_qos_soak(const QosSoakParams& params);
+
+/// The controller configuration the qos_adaptive scenarios run: bounds
+/// 0..40 %, +10 % raise steps, 16-cycle windows, scalar p99 budget of
+/// `p99_budget` cycles (default 16 = the model's fixed latency plus a
+/// short queue — low enough to catch a burst in its first window).
+arch::AdaptiveShareConfig qos_soak_controller(u32 p99_budget = 16);
+
+// ---- suite axes (shared by scenario registration and the bench gates) ----
+std::vector<u64> gmem_qos_shares(bool smoke);  ///< static bulk_min_pct values
+std::vector<u64> gmem_qos_bws(bool smoke);     ///< channel B/cycle
+std::vector<u64> gmem_qos_loads(bool smoke);   ///< burst_load_pct values
+
+std::string gmem_qos_static_name(u64 share, u64 load, u64 bw);
+std::string gmem_qos_adaptive_name(u64 load, u64 bw);
+
+/// Register every scenario of the gmem_qos suite.
+void register_gmem_qos_scenarios(Registry& registry, bool smoke);
+
+}  // namespace mp3d::exp

@@ -411,6 +411,29 @@ int suite_main(int argc, char** argv,
   if (options.telemetry()) {
     obs::set_global_request({});  // drop the request and collected buffers
   }
+  if (!suite.perf_record.empty() && options.filters.empty()) {
+    // Perf trajectory record: only unfiltered sweeps are comparable runs.
+    const double secs = report.wall_ms / 1000.0;
+    const double rate =
+        secs > 0.0 ? static_cast<double>(report.results.size()) / secs : 0.0;
+    std::string j = "{\n";
+    j += "  \"bench\": \"" + json_escape(suite.perf_record) + "\",\n";
+    j += "  \"suite\": \"" + json_escape(suite.name) + "\",\n";
+    j += "  \"scenarios\": " + std::to_string(report.results.size()) + ",\n";
+    j += "  \"jobs\": " + std::to_string(report.jobs) + ",\n";
+    j += "  \"smoke\": " + std::string(options.smoke ? "true" : "false") + ",\n";
+    j += "  \"wall_ms\": " + json_number(report.wall_ms) + ",\n";
+    j += "  \"scenarios_per_sec\": " + json_number(rate) + "\n";
+    j += "}\n";
+    const std::string path = dir + "/BENCH_" + suite.perf_record + ".json";
+    const std::string err = write_text_file(path, j);
+    if (err.empty()) {
+      std::printf("[perf record written to %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      io_ok = false;
+    }
+  }
 
   std::printf("sweep '%s': %zu scenario(s), jobs=%u, wall %.0f ms\n",
               suite.name.c_str(), report.results.size(), report.jobs,

@@ -69,6 +69,12 @@ struct Suite {
 
   std::vector<std::pair<std::string, std::function<std::string(const SweepReport&)>>>
       gates;
+
+  /// When nonempty, unfiltered runs also write `BENCH_<perf_record>.json`
+  /// (scenario count, wall clock, scenarios/sec, jobs, smoke) next to the
+  /// data files, so CI's artifact trail records the sweep's simulation
+  /// throughput over time.
+  std::string perf_record;
 };
 
 /// Parse argv. Returns "" on success or an error message; `extra_flags`

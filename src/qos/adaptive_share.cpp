@@ -1,0 +1,123 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "qos/adaptive_share.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace mp3d::qos {
+
+AdaptiveShareController::AdaptiveShareController(
+    const arch::AdaptiveShareConfig& config, arch::GlobalMemory& gmem)
+    : cfg_(config), gmem_(gmem) {
+  MP3D_CHECK(cfg_.max_pct <= 90,
+             "adaptive share ceiling must leave scalar traffic at least 10 %");
+  MP3D_CHECK(cfg_.min_pct <= cfg_.max_pct,
+             "adaptive share floor must not exceed the ceiling");
+  MP3D_CHECK(cfg_.step_pct >= 1 && cfg_.step_pct <= 90,
+             "adaptive share step must be in 1..90 %");
+  MP3D_CHECK(cfg_.window >= 16,
+             "adaptive share windows below 16 cycles measure noise, not load");
+  MP3D_CHECK(cfg_.p99_budget >= 1, "scalar p99 budget must be positive");
+  MP3D_CHECK(cfg_.raise_stall_pct <= 100 && cfg_.raise_demand_pct <= 100,
+             "raise thresholds are percentages of the window");
+  initial_pct_ =
+      std::clamp(gmem_.arbiter().bulk_min_pct, cfg_.min_pct, cfg_.max_pct);
+  share_pct_ = initial_pct_;
+  next_window_ = cfg_.window;
+  gmem_.set_bulk_share(share_pct_);
+  window_latencies_.reserve(cfg_.window);
+}
+
+void AdaptiveShareController::reset() {
+  share_pct_ = initial_pct_;
+  gmem_.set_bulk_share(share_pct_);
+  next_window_ = cfg_.window;
+  last_window_end_ = 0;
+  window_latencies_.clear();
+  // The attached gmem's counters restart from zero between runs
+  // (reset_run_state), so the window baselines restart with them.
+  last_bulk_stall_ = 0;
+  last_bulk_demand_ = 0;
+  raises_ = 0;
+  decays_ = 0;
+  windows_ = 0;
+  share_cycles_ = 0;
+}
+
+void AdaptiveShareController::on_window(sim::Cycle now) {
+  ++windows_;
+  share_cycles_ += static_cast<u64>(share_pct_) * (now - last_window_end_);
+  const u64 stall_delta = gmem_.bulk_stall_cycles() - last_bulk_stall_;
+  const u64 demand_delta = gmem_.bulk_demand_cycles() - last_bulk_demand_;
+  last_bulk_stall_ = gmem_.bulk_stall_cycles();
+  last_bulk_demand_ = gmem_.bulk_demand_cycles();
+  last_window_end_ = now;
+  next_window_ = now + cfg_.window;
+
+  const double p99 = percentile(window_latencies_, 0.99);
+  const bool latency_violated =
+      !window_latencies_.empty() && p99 > static_cast<double>(cfg_.p99_budget);
+  window_latencies_.clear();
+
+  if (latency_violated) {
+    // Tail latency is the contract: shed the share multiplicatively so one
+    // or two windows are enough to get out of the way of a scalar burst.
+    if (share_pct_ > cfg_.min_pct) {
+      actuate(std::max(cfg_.min_pct, share_pct_ / 2), now, /*raise=*/false);
+    }
+    return;
+  }
+  // Latency is healthy; raise additively while bulk is under pressure —
+  // visibly stalled, or demanding the channel for most of the window.
+  const u64 window = cfg_.window;
+  const bool stalled = stall_delta * 100 >= static_cast<u64>(cfg_.raise_stall_pct) * window &&
+                       stall_delta > 0;
+  const bool demanding =
+      demand_delta * 100 >= static_cast<u64>(cfg_.raise_demand_pct) * window &&
+      demand_delta > 0;
+  if ((stalled || demanding) && share_pct_ < cfg_.max_pct) {
+    actuate(std::min(cfg_.max_pct, share_pct_ + cfg_.step_pct), now, /*raise=*/true);
+  }
+}
+
+void AdaptiveShareController::actuate(u32 new_share, sim::Cycle now, bool raise) {
+  if (new_share == share_pct_) {
+    return;
+  }
+  share_pct_ = new_share;
+  gmem_.set_bulk_share(share_pct_);
+  if (raise) {
+    ++raises_;
+  } else {
+    ++decays_;
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(track_, raise ? ev_share_raise_ : ev_share_decay_, now,
+                    share_pct_);
+  }
+}
+
+void AdaptiveShareController::add_counters(sim::CounterSet& counters) const {
+  counters.set("qos.share_x100", static_cast<u64>(share_pct_) * 100);
+  counters.set("qos.adjustments", adjustments());
+  counters.set("qos.raises", raises_);
+  counters.set("qos.decays", decays_);
+  counters.set("qos.windows", windows_);
+  if (last_window_end_ > 0) {
+    counters.set("qos.share_avg_x100", share_cycles_ * 100 / last_window_end_);
+  }
+}
+
+void AdaptiveShareController::set_trace(obs::Trace* trace, u32 track) {
+  trace_ = trace;
+  track_ = track;
+  if (trace_ != nullptr) {
+    ev_share_raise_ = trace_->intern("share_raise");
+    ev_share_decay_ = trace_->intern("share_decay");
+  }
+}
+
+}  // namespace mp3d::qos

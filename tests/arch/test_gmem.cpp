@@ -256,6 +256,101 @@ TEST(GmemArbiter, IdleBulkCostsScalarNothing) {
   EXPECT_EQ(cycle, 8U);
 }
 
+TEST(GmemArbiter, LeftoverFundedGrantsPreserveDeficitCredit) {
+  // Credit-accounting regression: at a small share on a narrow channel the
+  // guarantee accrues at a fraction of a byte per cycle (10 % of 4 B/cycle
+  // = 40 hundredths), so credit needs three demand cycles to mature into a
+  // whole byte. Alternate two scalar-saturated cycles (shorter than that
+  // maturity time) with two scalar-idle cycles in which bulk is granted
+  // pure channel *leftovers*. Those leftover-funded grants must not be
+  // charged against the credit — the buggy accounting deducted every
+  // granted byte, wiping the carried fraction at each lull, so the
+  // guarantee never matured and saturated cycles granted bulk nothing,
+  // ever.
+  GmemArbiterConfig arb;
+  arb.bulk_min_pct = 10;
+  GlobalMemory g(0x80000000, MiB(1), 4, 0, arb);
+  std::vector<MemResponse> responses;
+  std::vector<u32> refills;
+  u64 bulk_in_saturated_cycles = 0;
+  for (u64 cycle = 1; cycle <= 400; ++cycle) {
+    // 4-cycle pattern: two saturated cycles (one word = the full 4 B
+    // budget each), two idle cycles (any backlog a reserve displaced
+    // drains here, so the next lull really is leftovers).
+    const bool saturated = cycle % 4 == 1 || cycle % 4 == 2;
+    if (saturated) {
+      MemRequest req;
+      req.addr = 0x80000000 + static_cast<u32>((cycle * 4) % 4096);
+      req.op = isa::Op::kLw;
+      g.enqueue(req, cycle);
+    }
+    responses.clear();
+    refills.clear();
+    g.step(cycle, responses, refills, /*bulk_demand_bytes=*/1 << 20);
+    const u32 granted = g.claim_bulk(4, cycle);
+    if (saturated) {
+      bulk_in_saturated_cycles += granted;
+    }
+  }
+  // With credit preserved across the lulls it matures at 0.4 B/cycle and
+  // the saturated stretches see their guaranteed bytes.
+  EXPECT_GE(bulk_in_saturated_cycles, 20U);
+}
+
+TEST(GmemArbiter, RuntimeShareRaiseTakesEffect) {
+  // set_bulk_share is the QoS controller's actuator: raising the share on
+  // a live, scalar-saturated channel must start granting bulk its new
+  // minimum from that point on.
+  GlobalMemory g(0x80000000, MiB(1), 4, 0);  // legacy default: share 0
+  EXPECT_EQ(run_saturated(g, 100), 0U);
+  g.set_bulk_share(25);
+  const u64 bulk = run_saturated(g, 200, /*start=*/100);
+  // 25 % of 4 B/cycle over 200 cycles, minus fractional-credit rounding.
+  EXPECT_GE(bulk, 200U * 4 * 25 / 100 - 4);
+}
+
+TEST(GmemArbiter, LoweringShareToZeroDropsCredit) {
+  // Decaying to share 0 restores the legacy absolute-priority policy
+  // immediately: outstanding credit must be dropped, not spent.
+  GmemArbiterConfig arb;
+  arb.bulk_min_pct = 50;
+  GlobalMemory g(0x80000000, MiB(1), 4, 0, arb);
+  EXPECT_GT(run_saturated(g, 100), 0U);
+  g.set_bulk_share(0);
+  EXPECT_EQ(run_saturated(g, 100, /*start=*/100), 0U);
+}
+
+TEST(GmemArbiter, LoweringShareRescalesCreditToNewCap) {
+  // Credit banked under a large share must be clamped to the smaller
+  // share's deficit cap, so a freshly-decayed share cannot keep bursting
+  // bulk traffic at the old guarantee.
+  GmemArbiterConfig arb;
+  arb.bulk_min_pct = 50;
+  arb.deficit_cap_cycles = 8;
+  GlobalMemory g(0x80000000, MiB(1), 4, 0, arb);
+  std::vector<MemResponse> responses;
+  std::vector<u32> refills;
+  // Accrue credit to the 50 % cap (8 cycles x 2 B/cycle = 16 B) by
+  // reporting bulk demand without claiming.
+  for (u64 cycle = 1; cycle <= 20; ++cycle) {
+    responses.clear();
+    refills.clear();
+    g.step(cycle, responses, refills, /*bulk_demand_bytes=*/1 << 20);
+  }
+  g.set_bulk_share(10);  // new cap: 8 cycles x 0.4 B/cycle = 3.2 B
+  const u64 burst = run_saturated(g, 5, /*start=*/20);
+  // Unrescaled credit would burst 4 B/cycle (16 B in 4 cycles); the
+  // clamped credit plus fresh accrual allows at most ~5 B.
+  EXPECT_LE(burst, 6U);
+  EXPECT_GT(burst, 0U);
+}
+
+TEST(GmemArbiter, RuntimeShareValidatedLikeConfig) {
+  GlobalMemory g(0x80000000, MiB(1), 4, 0);
+  EXPECT_THROW(g.set_bulk_share(91), std::invalid_argument);
+  EXPECT_NO_THROW(g.set_bulk_share(90));
+}
+
 TEST(GmemArbiter, ResetClearsDeficitAndShareCounters) {
   // Back-to-back runs must be bit-identical: reset_run_state has to clear
   // the arbiter's credit/deficit state and every share counter, even when

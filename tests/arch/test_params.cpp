@@ -68,6 +68,37 @@ TEST(ClusterConfig, RejectsBadGmemArbiter) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(ClusterConfig, RejectsBadQosController) {
+  // The adaptive-share block is only validated when enabled.
+  ClusterConfig cfg = ClusterConfig::mempool();
+  cfg.qos.window = 1;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.qos.enabled = true;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.qos.enabled = true;
+  cfg.qos.max_pct = 95;  // scalar must keep at least 10 %
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ClusterConfig::mempool();
+  cfg.qos.enabled = true;
+  cfg.qos.min_pct = 50;
+  cfg.qos.max_pct = 40;  // floor above ceiling
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // The configured static share must sit inside the controller's band —
+  // it becomes the initial live share.
+  cfg = ClusterConfig::mempool();
+  cfg.qos.enabled = true;
+  cfg.qos.min_pct = 10;
+  cfg.qos.max_pct = 40;
+  cfg.gmem_arbiter.bulk_min_pct = 50;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.gmem_arbiter.bulk_min_pct = 25;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(ClusterConfig, RejectsBadTiming) {
   ClusterConfig cfg = ClusterConfig::mempool();
   cfg.mul_latency = 0;

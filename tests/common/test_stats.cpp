@@ -71,11 +71,23 @@ TEST(Percentile, InterpolatesBetweenOrderStatistics) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.25), 17.5);
 }
 
-TEST(Percentile, SortsInPlaceAndClampsQ) {
+TEST(Percentile, ClampsQ) {
   std::vector<u64> v{30, 10, 20};
   EXPECT_DOUBLE_EQ(percentile(v, -1.0), 10.0);  // clamped to q = 0
   EXPECT_DOUBLE_EQ(percentile(v, 2.0), 30.0);   // clamped to q = 1
-  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Percentile, DoesNotMutateTheSamples) {
+  // Regression: percentile used to sort the caller's vector in place,
+  // silently reordering buffers callers reuse (per-window telemetry
+  // gauges compute p50 then p99 from the same window).
+  const std::vector<u64> original{30, 10, 20, 50, 40};
+  std::vector<u64> v = original;
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+  EXPECT_EQ(v, original);
+  // p50-then-p99 on one buffer agrees with p99 on a fresh copy.
+  std::vector<u64> fresh = original;
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), percentile(fresh, 0.99));
 }
 
 TEST(Percentile, P99OnUniformRamp) {
@@ -107,6 +119,19 @@ TEST(Histogram, Quantile) {
   EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
   EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
   EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, QuantileZeroSkipsLeadingEmptyBins) {
+  // Regression: q = 0 used to return lo_ unconditionally — the zero target
+  // was satisfied by the first (empty) bin. It must report the lower edge
+  // of the first bin that actually holds mass.
+  Histogram h(0.0, 100.0, 10);
+  h.add(75.0);  // bin [70, 80); bins 0..6 stay empty
+  h.add(85.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 70.0);
+  // An empty histogram still reports the range floor.
+  Histogram empty(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
 }
 
 TEST(Histogram, RejectsEmptyRange) {

@@ -1,0 +1,201 @@
+// SPDX-License-Identifier: Apache-2.0
+// AdaptiveShareController: AIMD policy, bounds, counters, reset determinism.
+#include "qos/adaptive_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "arch/global_mem.hpp"
+#include "arch/params.hpp"
+#include "common/units.hpp"
+
+namespace mp3d::qos {
+namespace {
+
+arch::GmemArbiterConfig arb(u32 bulk_min_pct) {
+  arch::GmemArbiterConfig cfg;
+  cfg.bulk_min_pct = bulk_min_pct;
+  return cfg;
+}
+
+arch::AdaptiveShareConfig ctl(u32 min_pct, u32 max_pct) {
+  arch::AdaptiveShareConfig cfg;
+  cfg.enabled = true;
+  cfg.min_pct = min_pct;
+  cfg.max_pct = max_pct;
+  cfg.step_pct = 10;
+  cfg.window = 16;
+  cfg.p99_budget = 16;
+  return cfg;
+}
+
+/// A GlobalMemory plus controller stepped cycle by cycle. Each cycle can
+/// offer bulk demand (raise pressure) and/or feed a scalar latency sample
+/// (violation pressure); the bulk claim keeps the demand drained so the
+/// stall counter stays quiet unless the test wants otherwise.
+struct Harness {
+  arch::GlobalMemory gmem;
+  AdaptiveShareController ctrl;
+  sim::Cycle now = 0;
+  std::vector<arch::MemResponse> responses;
+  std::vector<u32> refills;
+
+  Harness(u32 initial_share, const arch::AdaptiveShareConfig& cfg)
+      : gmem(0x80000000, MiB(1), 4, 0, arb(initial_share)), ctrl(cfg, gmem) {}
+
+  void run_window(u64 demand, u64 latency_sample, u32 cycles = 16) {
+    for (u32 i = 0; i < cycles; ++i) {
+      ++now;
+      responses.clear();
+      refills.clear();
+      gmem.step(now, responses, refills, demand);
+      if (demand > 0) {
+        gmem.claim_bulk(static_cast<u32>(demand), now);
+      }
+      if (latency_sample > 0) {
+        ctrl.observe_scalar_latency(latency_sample);
+      }
+      ctrl.step(now);
+    }
+  }
+};
+
+TEST(AdaptiveShare, RaisesAdditivelyWhileBulkDemandIsSustained) {
+  Harness h(0, ctl(0, 40));
+  EXPECT_EQ(h.ctrl.share_pct(), 0U);
+  // Demand every cycle, scalar latency silent: +step per window up to max.
+  for (const u32 expected : {10U, 20U, 30U, 40U}) {
+    h.run_window(/*demand=*/4, /*latency_sample=*/0);
+    EXPECT_EQ(h.ctrl.share_pct(), expected);
+    EXPECT_EQ(h.gmem.arbiter().bulk_min_pct, expected);
+  }
+  EXPECT_EQ(h.ctrl.raises(), 4U);
+  // At the ceiling the controller holds rather than oscillating.
+  h.run_window(4, 0);
+  EXPECT_EQ(h.ctrl.share_pct(), 40U);
+  EXPECT_EQ(h.ctrl.adjustments(), 4U);
+}
+
+TEST(AdaptiveShare, DecaysMultiplicativelyOnLatencyViolation) {
+  Harness h(40, ctl(0, 40));
+  EXPECT_EQ(h.ctrl.share_pct(), 40U);
+  // p99 of 100 cycles blows the 16-cycle budget: halve each window.
+  for (const u32 expected : {20U, 10U, 5U, 2U, 1U, 0U}) {
+    h.run_window(/*demand=*/4, /*latency_sample=*/100);
+    EXPECT_EQ(h.ctrl.share_pct(), expected);
+    EXPECT_EQ(h.gmem.arbiter().bulk_min_pct, expected);
+  }
+  EXPECT_EQ(h.ctrl.decays(), 6U);
+  EXPECT_EQ(h.ctrl.raises(), 0U);
+  // Already at the floor: further violations change nothing.
+  h.run_window(4, 100);
+  EXPECT_EQ(h.ctrl.share_pct(), 0U);
+  EXPECT_EQ(h.ctrl.decays(), 6U);
+}
+
+TEST(AdaptiveShare, BoundsClampInitialShareAndEveryMove) {
+  // gmem starts outside the band on both sides of two harnesses.
+  Harness low(0, ctl(10, 30));
+  EXPECT_EQ(low.ctrl.share_pct(), 10U);  // clamped up to the floor
+  for (int w = 0; w < 8; ++w) {
+    low.run_window(/*demand=*/4, /*latency_sample=*/100);
+    EXPECT_GE(low.ctrl.share_pct(), 10U);
+  }
+  Harness high(80, ctl(10, 30));
+  EXPECT_EQ(high.ctrl.share_pct(), 30U);  // clamped down to the ceiling
+  for (int w = 0; w < 8; ++w) {
+    high.run_window(4, 0);
+    EXPECT_LE(high.ctrl.share_pct(), 30U);
+  }
+}
+
+TEST(AdaptiveShare, QuietWindowsHoldTheShare) {
+  Harness h(20, ctl(0, 40));
+  // No bulk demand and healthy (absent) latencies: nothing to react to.
+  for (int w = 0; w < 4; ++w) {
+    h.run_window(/*demand=*/0, /*latency_sample=*/0);
+  }
+  EXPECT_EQ(h.ctrl.share_pct(), 20U);
+  EXPECT_EQ(h.ctrl.adjustments(), 0U);
+  EXPECT_EQ(h.ctrl.windows(), 4U);
+}
+
+TEST(AdaptiveShare, LatencyBudgetOutranksBulkPressure) {
+  // Demand pressure and a latency violation in the same window: the tail
+  // latency contract wins and the share goes down, not up.
+  Harness h(20, ctl(0, 40));
+  h.run_window(/*demand=*/4, /*latency_sample=*/100);
+  EXPECT_EQ(h.ctrl.share_pct(), 10U);
+  EXPECT_EQ(h.ctrl.decays(), 1U);
+  EXPECT_EQ(h.ctrl.raises(), 0U);
+}
+
+TEST(AdaptiveShare, ExposesQosCounters) {
+  Harness h(0, ctl(0, 40));
+  h.run_window(4, 0);  // one raise to 10
+  h.run_window(4, 0);  // one raise to 20
+  sim::CounterSet counters;
+  h.ctrl.add_counters(counters);
+  EXPECT_EQ(counters.get("qos.share_x100"), 2000U);
+  EXPECT_EQ(counters.get("qos.adjustments"), 2U);
+  EXPECT_EQ(counters.get("qos.raises"), 2U);
+  EXPECT_EQ(counters.get("qos.decays"), 0U);
+  EXPECT_EQ(counters.get("qos.windows"), 2U);
+  // Window 1 ran at the initial 0 %, window 2 at 10 %: average 5 %.
+  EXPECT_EQ(counters.get("qos.share_avg_x100"), 500U);
+}
+
+TEST(AdaptiveShare, ResetRestoresInitialShareAndReplaysIdentically) {
+  Harness h(0, ctl(0, 40));
+  auto drive = [&h] {
+    std::vector<u32> shares;
+    h.run_window(4, 0);
+    shares.push_back(h.ctrl.share_pct());
+    h.run_window(4, 100);
+    shares.push_back(h.ctrl.share_pct());
+    h.run_window(4, 0);
+    shares.push_back(h.ctrl.share_pct());
+    return shares;
+  };
+  const std::vector<u32> first = drive();
+  sim::CounterSet before;
+  h.ctrl.add_counters(before);
+
+  h.gmem.reset_run_state();
+  h.ctrl.reset();
+  h.now = 0;
+  EXPECT_EQ(h.ctrl.share_pct(), 0U);
+  EXPECT_EQ(h.gmem.arbiter().bulk_min_pct, 0U);
+  EXPECT_EQ(h.ctrl.adjustments(), 0U);
+  EXPECT_EQ(h.ctrl.windows(), 0U);
+
+  const std::vector<u32> second = drive();
+  sim::CounterSet after;
+  h.ctrl.add_counters(after);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(before, after);
+}
+
+TEST(AdaptiveShare, CtorRevalidatesConfig) {
+  arch::GlobalMemory g(0x80000000, MiB(1), 4, 0);
+  auto bad = [&g](arch::AdaptiveShareConfig cfg) {
+    EXPECT_THROW(AdaptiveShareController(cfg, g), std::invalid_argument);
+  };
+  arch::AdaptiveShareConfig cfg = ctl(0, 40);
+  cfg.max_pct = 95;  // would starve scalar traffic
+  bad(cfg);
+  cfg = ctl(30, 20);  // floor above ceiling
+  bad(cfg);
+  cfg = ctl(0, 40);
+  cfg.window = 8;  // sub-16-cycle windows measure noise
+  bad(cfg);
+  cfg = ctl(0, 40);
+  cfg.step_pct = 0;
+  bad(cfg);
+  EXPECT_NO_THROW(AdaptiveShareController(ctl(0, 40), g));
+}
+
+}  // namespace
+}  // namespace mp3d::qos

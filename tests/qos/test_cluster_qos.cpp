@@ -1,0 +1,76 @@
+// SPDX-License-Identifier: Apache-2.0
+// The adaptive share controller wired into a full cluster: a DMA-heavy
+// kernel under qos.enabled reaches EOC, reports the qos.* counter family,
+// and stays deterministic across back-to-back runs (load_program resets
+// the controller along with the channel).
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.hpp"
+#include "testing.hpp"
+
+namespace mp3d::arch {
+namespace {
+
+ClusterConfig qos_mini() {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.qos.enabled = true;
+  cfg.qos.min_pct = 0;
+  cfg.qos.max_pct = 40;
+  cfg.qos.step_pct = 10;
+  cfg.qos.window = 64;  // several decision windows inside a short kernel
+  cfg.validate();
+  return cfg;
+}
+
+TEST(ClusterQos, DmaKernelRunsWithControllerAndReportsCounters) {
+  const ClusterConfig cfg = qos_mini();
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p), 10'000'000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.counters.get("dma.bytes"), 0U);
+  // The controller saw the whole run and published its state.
+  EXPECT_TRUE(r.counters.has("qos.share_x100"));
+  EXPECT_TRUE(r.counters.has("qos.adjustments"));
+  EXPECT_GT(r.counters.get("qos.windows"), 1U);
+  // The DMA phases exert bulk pressure the channel actually records.
+  EXPECT_GT(r.counters.get("gmem.bulk_demand_cycles"), 0U);
+  EXPECT_LE(r.counters.get("qos.share_x100"), 4000U);  // never above the band
+}
+
+TEST(ClusterQos, BackToBackRunsIdenticalIncludingQosCounters) {
+  const ClusterConfig cfg = qos_mini();
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const kernels::Kernel kernel = kernels::build_matmul_dma(cfg, p);
+  const RunResult first = kernels::run_kernel(cluster, kernel, 10'000'000);
+  const RunResult second = kernels::run_kernel(cluster, kernel, 10'000'000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.cycles, second.cycles);
+  for (const auto& [name, value] : first.counters.all()) {
+    EXPECT_EQ(second.counters.get(name), value) << "counter " << name;
+  }
+  EXPECT_EQ(first.counters.all().size(), second.counters.all().size());
+}
+
+TEST(ClusterQos, ControllerOffLeavesNoQosCounters) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p), 10'000'000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.counters.has("qos.share_x100"));
+  EXPECT_FALSE(r.counters.has("qos.windows"));
+}
+
+}  // namespace
+}  // namespace mp3d::arch
