@@ -51,6 +51,7 @@ Point run_variant(u32 bw, bool use_dma) {
 exp::Suite make_suite(const exp::CliOptions&) {
   exp::Suite suite;
   suite.name = "dma_bandwidth";
+  suite.perf_record = "sim_dma_bandwidth";
   suite.title = "DMA vs core-driven matmul (mini cluster, m=" + std::to_string(kM) +
                 ", t=" + std::to_string(kT) + ")";
 
@@ -68,6 +69,7 @@ exp::Suite make_suite(const exp::CliOptions&) {
       const double speedup = static_cast<double>(core_driven.cycles) /
                              static_cast<double>(dma.cycles);
       exp::ScenarioOutput out;
+      out.sim(core_driven.cycles + dma.cycles);
       out.metric("bw", bw)
           .metric("core_cycles", static_cast<double>(core_driven.cycles))
           .metric("dma_cycles", static_cast<double>(dma.cycles))

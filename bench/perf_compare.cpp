@@ -1,0 +1,118 @@
+// SPDX-License-Identifier: Apache-2.0
+// Perf-regression gate: compare fresh BENCH_*.json perf records against a
+// checked-in baseline.
+//
+//   perf_compare --baseline bench/baselines/BENCH_sim_speed.json
+//                [--tolerance PCT] [--markdown] CURRENT.json [CURRENT.json...]
+//
+// Multiple CURRENT files are folded best-of (run the bench N times, pass
+// all N records) so scheduler noise cannot fail the gate. Exit codes:
+// 0 = no regression, 1 = regression beyond the tolerance, 2 = usage or
+// I/O error (a missing or malformed record must fail loudly, not pass).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "prof/record.hpp"
+
+using namespace mp3d;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline FILE [--tolerance PCT] [--markdown] "
+               "CURRENT [CURRENT...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  double tolerance = 0.10;
+  bool markdown = false;
+  std::vector<std::string> current_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (++i >= argc) {
+        return usage(argv[0]);
+      }
+      baseline_path = argv[i];
+    } else if (arg == "--tolerance") {
+      if (++i >= argc) {
+        return usage(argv[0]);
+      }
+      char* end = nullptr;
+      const double pct = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || !(pct >= 0.0) || pct >= 100.0) {
+        std::fprintf(stderr, "error: bad --tolerance '%s' (percent, 0-100)\n",
+                     argv[i]);
+        return 2;
+      }
+      tolerance = pct / 100.0;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      current_paths.push_back(arg);
+    }
+  }
+  if (baseline_path.empty() || current_paths.empty()) {
+    return usage(argv[0]);
+  }
+
+  const prof::ParseResult baseline = prof::load_perf_record(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error: baseline: %s\n", baseline.error.c_str());
+    return 2;
+  }
+  std::vector<prof::PerfRecord> currents;
+  for (const std::string& path : current_paths) {
+    prof::ParseResult parsed = prof::load_perf_record(path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    if (parsed.record.bench != baseline.record.bench) {
+      std::fprintf(stderr, "error: %s records bench '%s', baseline is '%s'\n",
+                   path.c_str(), parsed.record.bench.c_str(),
+                   baseline.record.bench.c_str());
+      return 2;
+    }
+    currents.push_back(std::move(parsed.record));
+  }
+  const prof::PerfRecord current = prof::best_of(currents);
+
+  const prof::Comparison comparison =
+      prof::compare_records(baseline.record, current, tolerance);
+  if (markdown) {
+    std::printf("### %s: perf vs baseline (best of %zu run%s)\n\n",
+                baseline.record.bench.c_str(), currents.size(),
+                currents.size() == 1 ? "" : "s");
+  } else {
+    std::printf("%s: perf vs baseline (best of %zu run%s)\n",
+                baseline.record.bench.c_str(), currents.size(),
+                currents.size() == 1 ? "" : "s");
+  }
+  std::printf("%s", prof::comparison_table(comparison, markdown).c_str());
+
+  if (comparison.comparable() == 0) {
+    std::fprintf(stderr,
+                 "error: no workload was comparable between baseline and "
+                 "current records\n");
+    return 2;
+  }
+  if (comparison.regression()) {
+    std::fprintf(stderr, "perf regression beyond %.0f%% tolerance\n",
+                 tolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}

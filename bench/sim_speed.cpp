@@ -1,0 +1,355 @@
+// SPDX-License-Identifier: Apache-2.0
+// Simulator-throughput benchmark and host-profiling harness: how fast does
+// the simulator itself run, and where does Cluster::step's wall clock go?
+//
+// Workload mix (one scenario each, min-of-N reps with the best rep as the
+// workload's wall clock):
+//   - speed/gmem_soak:    standalone bandwidth-limited GlobalMemory soak
+//   - speed/matmul_dma:   DMA-staged matmul on the mini cluster, host
+//                         profiling on (the component-breakdown source)
+//   - speed/qos_adaptive: the same kernel under the adaptive-share
+//                         controller
+//   - speed/telemetry_on: the same kernel with windowed sampling + tracing
+//   - speed/prof_overhead: profiling-off vs profiling-on wall clock
+//   - speed/prof_identical: profiling-on counters bit-identical to off
+//
+// Every scenario credits its simulated cycles, so the suite's perf record
+// (BENCH_sim_speed.json) carries per-workload host Mcycles/s plus the
+// prof.* component breakdown; CI's perf job compares that record against
+// the checked-in baseline and fails on a >10 % throughput regression.
+//
+// Gates: every workload reports sim work; the profiler's phase breakdown
+// covers >= 90 % of measured step time; profiling-on overhead stays under
+// 10 % (wall-clock gates skip under --smoke and sanitizers); profiling
+// never perturbs simulation counters.
+#include <chrono>
+#include <mutex>
+
+#include "arch/cluster.hpp"
+#include "bench_util.hpp"
+#include "exp/scenarios_gmem.hpp"
+#include "exp/suite.hpp"
+#include "kernels/matmul.hpp"
+#include "prof/export.hpp"
+#include "prof/profile.hpp"
+
+using namespace mp3d;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr u32 kProfStride = 64;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Full runs take the best of 5 reps per workload: the gated perf record
+// must time true simulator speed, not scheduler noise on a shared CI box.
+int reps_for(bool smoke) { return smoke ? 1 : 5; }
+
+/// The profile exported by finalize(): the matmul_dma workload's last-rep
+/// breakdown (scenarios may run on worker threads, hence the lock).
+std::mutex g_profile_mutex;
+prof::ProfileReport g_profile;
+bool g_have_profile = false;
+
+arch::ClusterConfig speed_config(bool qos, bool telemetry) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  cfg.profiling.stride = kProfStride;
+  if (qos) {
+    cfg.qos.enabled = true;
+    cfg.qos.min_pct = 0;
+    cfg.qos.max_pct = 40;
+    cfg.qos.step_pct = 10;
+    cfg.qos.window = 64;
+  }
+  if (telemetry) {
+    cfg.telemetry.sample_window = 1024;
+    cfg.telemetry.trace = true;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+kernels::Kernel speed_kernel(const arch::ClusterConfig& cfg, bool smoke) {
+  kernels::MatmulParams p;
+  p.m = smoke ? 32 : 64;
+  p.t = 16;
+  return kernels::build_matmul_dma(cfg, p);
+}
+
+void record_breakdown(exp::ScenarioOutput& out, const prof::ProfileReport& rep) {
+  for (std::size_t ph = 0; ph < prof::kNumPhases; ++ph) {
+    out.metric(std::string("prof.") +
+                   prof::phase_name(static_cast<prof::Phase>(ph)),
+               rep.phase_frac(static_cast<prof::Phase>(ph)));
+  }
+  out.metric("prof.coverage", rep.coverage());
+  out.metric("prof.est_step_ms", rep.est_step_ms());
+  out.metric("prof.sampled_cycles", static_cast<double>(rep.sampled_cycles));
+}
+
+/// Run a cluster workload `reps` times; credit one rep's simulated work
+/// and report the best rep's wall clock plus the last rep's profile.
+exp::ScenarioOutput run_cluster_workload(const arch::ClusterConfig& cfg,
+                                         bool smoke, bool keep_profile) {
+  const kernels::Kernel kernel = speed_kernel(cfg, smoke);
+  arch::Cluster cluster(cfg);
+  double best_ms = 1e300;
+  arch::RunResult result;
+  for (int i = 0; i < reps_for(smoke); ++i) {
+    const auto start = Clock::now();
+    result = kernels::run_kernel(cluster, kernel, 100'000'000);
+    best_ms = std::min(best_ms, ms_since(start));
+  }
+  exp::ScenarioOutput out;
+  out.sim(result.cycles, result.total_instret());
+  out.perf_wall_ms = best_ms;
+  out.metric("cycles", static_cast<double>(result.cycles));
+  if (const prof::StepProfiler* profiler = cluster.profiler();
+      profiler != nullptr) {
+    const prof::ProfileReport rep = profiler->report();
+    record_breakdown(out, rep);
+    if (keep_profile) {
+      const std::lock_guard<std::mutex> lock(g_profile_mutex);
+      g_profile = rep;
+      g_have_profile = true;
+    }
+  }
+  exp::Row row;
+  row.cell("workload", cfg.qos.enabled ? std::string("qos_adaptive")
+           : cfg.telemetry.enabled()   ? std::string("telemetry_on")
+                                       : std::string("matmul_dma"))
+      .cell("cycles", result.cycles);
+  out.row(std::move(row));
+  return out;
+}
+
+exp::ScenarioOutput run_gmem_soak_workload(bool smoke) {
+  exp::GmemSoakParams p;
+  p.bytes_per_cycle = 4;
+  p.bulk_min_pct = 50;
+  p.scalar_load_pct = exp::kSoakSaturatedLoadPct;
+  p.cycles = smoke ? 50'000 : 2'000'000;
+  double best_ms = 1e300;
+  exp::GmemSoakResult r;
+  for (int i = 0; i < reps_for(smoke); ++i) {
+    const auto start = Clock::now();
+    r = exp::run_gmem_soak(p);
+    best_ms = std::min(best_ms, ms_since(start));
+  }
+  exp::ScenarioOutput out;
+  out.sim(p.cycles);
+  out.perf_wall_ms = best_ms;
+  out.metric("cycles", static_cast<double>(p.cycles))
+      .metric("scalar_completed", static_cast<double>(r.scalar_completed));
+  exp::Row row;
+  row.cell("workload", std::string("gmem_soak")).cell("cycles", p.cycles);
+  out.row(std::move(row));
+  return out;
+}
+
+exp::ScenarioOutput run_prof_overhead(bool smoke) {
+  arch::ClusterConfig off = speed_config(false, false);
+  off.profiling.stride = 0;
+  const arch::ClusterConfig on = speed_config(false, false);
+  const kernels::Kernel kernel = speed_kernel(off, smoke);
+  // Interleave off/on reps so transient host load hits both sides alike;
+  // min-of-N then converges to each side's true wall clock.
+  arch::Cluster cluster_off(off);
+  arch::Cluster cluster_on(on);
+  double wall_off = 1e300;
+  double wall_on = 1e300;
+  u64 cycles_off = 0;
+  u64 cycles_on = 0;
+  for (int i = 0; i < reps_for(smoke); ++i) {
+    auto start = Clock::now();
+    cycles_off = kernels::run_kernel(cluster_off, kernel, 100'000'000).cycles;
+    wall_off = std::min(wall_off, ms_since(start));
+    start = Clock::now();
+    cycles_on = kernels::run_kernel(cluster_on, kernel, 100'000'000).cycles;
+    wall_on = std::min(wall_on, ms_since(start));
+  }
+  exp::ScenarioOutput out;
+  out.sim(cycles_off + cycles_on);
+  out.perf_wall_ms = wall_off + wall_on;
+  out.metric("wall_off_ms", wall_off)
+      .metric("wall_on_ms", wall_on)
+      .metric("overhead", wall_off > 0.0 ? wall_on / wall_off - 1.0 : 0.0);
+  return out;
+}
+
+exp::ScenarioOutput run_prof_identical(bool smoke) {
+  arch::ClusterConfig off_cfg = speed_config(false, false);
+  off_cfg.profiling.stride = 0;
+  const arch::ClusterConfig on_cfg = speed_config(false, false);
+  const kernels::Kernel kernel = speed_kernel(off_cfg, smoke);
+  double wall_ms = 0.0;
+  const auto run_one = [&](const arch::ClusterConfig& cfg) {
+    arch::Cluster cluster(cfg);
+    double best = 1e300;
+    arch::RunResult result;
+    for (int i = 0; i < reps_for(smoke); ++i) {
+      const auto start = Clock::now();
+      result = kernels::run_kernel(cluster, kernel, 100'000'000);
+      best = std::min(best, ms_since(start));
+    }
+    wall_ms += best;
+    return result;
+  };
+  const arch::RunResult off = run_one(off_cfg);
+  const arch::RunResult on = run_one(on_cfg);
+  exp::ScenarioOutput out;
+  out.sim(off.cycles + on.cycles, off.total_instret() + on.total_instret());
+  out.perf_wall_ms = wall_ms;
+  out.metric("identical",
+             (off.cycles == on.cycles && off.counters == on.counters) ? 1.0 : 0.0)
+      .metric("cycles", static_cast<double>(off.cycles));
+  return out;
+}
+
+exp::Suite make_suite(const exp::CliOptions& options) {
+  const bool smoke = options.smoke;
+  exp::Suite suite;
+  suite.name = "sim_speed";
+  suite.perf_record = "sim_speed";
+  suite.title = "Simulator throughput and host-profiling harness";
+
+  exp::Scenario s1;
+  s1.name = "speed/gmem_soak";
+  s1.description = "standalone gmem soak throughput (no cluster)";
+  s1.run = [smoke] { return run_gmem_soak_workload(smoke); };
+  suite.registry.add(std::move(s1));
+
+  exp::Scenario s2;
+  s2.name = "speed/matmul_dma";
+  s2.description = "DMA-staged matmul, host profiling on (breakdown source)";
+  s2.run = [smoke] {
+    return run_cluster_workload(speed_config(false, false), smoke,
+                                /*keep_profile=*/true);
+  };
+  suite.registry.add(std::move(s2));
+
+  exp::Scenario s3;
+  s3.name = "speed/qos_adaptive";
+  s3.description = "the same kernel under the adaptive share controller";
+  s3.run = [smoke] {
+    return run_cluster_workload(speed_config(true, false), smoke, false);
+  };
+  suite.registry.add(std::move(s3));
+
+  exp::Scenario s4;
+  s4.name = "speed/telemetry_on";
+  s4.description = "the same kernel with windowed sampling + event tracing";
+  s4.run = [smoke] {
+    return run_cluster_workload(speed_config(false, true), smoke, false);
+  };
+  suite.registry.add(std::move(s4));
+
+  exp::Scenario s5;
+  s5.name = "speed/prof_overhead";
+  s5.description = "profiling-off vs profiling-on wall clock (min-of-N)";
+  s5.run = [smoke] { return run_prof_overhead(smoke); };
+  suite.registry.add(std::move(s5));
+
+  exp::Scenario s6;
+  s6.name = "speed/prof_identical";
+  s6.description = "profiling never perturbs simulation counters";
+  s6.run = [smoke] { return run_prof_identical(smoke); };
+  suite.registry.add(std::move(s6));
+
+  suite.gate("every workload reports simulated work",
+             [](const exp::SweepReport& report) {
+               for (const exp::ScenarioResult& r : report.results) {
+                 if (r.ok() && r.output.sim_cycles == 0) {
+                   return r.name + " credited no simulated cycles";
+                 }
+               }
+               return std::string();
+             });
+
+  suite.gate("profiling never perturbs the simulation (bit-identical counters)",
+             [](const exp::SweepReport& report) {
+               const auto identical =
+                   report.metric("speed/prof_identical", "identical");
+               if (!identical) {
+                 return std::string("speed/prof_identical did not run");
+               }
+               if (*identical != 1.0) {
+                 return std::string(
+                     "counters diverged with host profiling enabled");
+               }
+               return std::string();
+             });
+
+  suite.gate("phase breakdown covers >= 90 % of measured step time",
+             [smoke](const exp::SweepReport& report) {
+               if (smoke) {
+                 // A smoke run samples too few cycles for the ratio to be
+                 // meaningful on coarse clocks.
+                 return std::string();
+               }
+               const auto coverage =
+                   report.metric("speed/matmul_dma", "prof.coverage");
+               if (!coverage) {
+                 return std::string("speed/matmul_dma reported no profile");
+               }
+               if (*coverage < 0.9) {
+                 return "profile coverage " + fmt_norm(*coverage, 3) +
+                        " below 0.9 (lost marks or timer overhead)";
+               }
+               return std::string();
+             });
+
+  suite.gate("profiling-on wall clock within 10 % of profiling-off",
+             [smoke](const exp::SweepReport& report) {
+               if (smoke || bench::sanitizers_active()) {
+                 // Wall-clock gates need a release-like build and a
+                 // workload long enough to time.
+                 return std::string();
+               }
+               const auto off =
+                   report.metric("speed/prof_overhead", "wall_off_ms");
+               const auto on = report.metric("speed/prof_overhead", "wall_on_ms");
+               if (!off || !on) {
+                 return std::string("speed/prof_overhead did not run");
+               }
+               const double bound = *off * 1.10 + 2.0;
+               if (*on > bound) {
+                 return "profiling-on " + fmt_norm(*on, 2) + " ms exceeds " +
+                        fmt_norm(bound, 2) + " ms (off: " + fmt_norm(*off, 2) +
+                        " ms)";
+               }
+               return std::string();
+             });
+
+  suite.finalize = [](const exp::SweepReport&) {
+    const std::lock_guard<std::mutex> lock(g_profile_mutex);
+    if (!g_have_profile) {
+      return;
+    }
+    const std::string dir = bench::out_dir();
+    const std::string collapsed = dir + "/sim_speed_profile.collapsed";
+    const std::string speedscope = dir + "/sim_speed_profile.speedscope.json";
+    std::string err =
+        exp::write_text_file(collapsed, prof::to_collapsed(g_profile));
+    if (err.empty()) {
+      err = exp::write_text_file(
+          speedscope, prof::to_speedscope(g_profile, "sim_speed matmul_dma"));
+    }
+    if (err.empty()) {
+      std::printf("[profile written to %s and %s]\n", collapsed.c_str(),
+                  speedscope.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+    }
+  };
+
+  return suite;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return exp::suite_main(argc, argv, make_suite); }

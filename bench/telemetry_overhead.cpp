@@ -14,7 +14,8 @@
 //   - every identical/* scenario reports identical == 1;
 //   - telemetry-on wall-clock stays within 10 % (plus a small absolute
 //     slack for timer noise) of telemetry-off — skipped under --smoke,
-//     where the workload is too short to time meaningfully.
+//     where the workload is too short to time meaningfully, and in
+//     sanitized builds, whose timing bears no relation to release timing.
 #include <chrono>
 
 #include "arch/cluster.hpp"
@@ -58,6 +59,7 @@ exp::ScenarioOutput run_identical_soak(bool smoke) {
   const exp::GmemSoakResult a = exp::run_gmem_soak(off);
   const exp::GmemSoakResult b = exp::run_gmem_soak(on);
   exp::ScenarioOutput out;
+  out.sim(2 * off.cycles);
   out.metric("identical", soak_results_equal(a, b) ? 1.0 : 0.0)
       .metric("scalar_completed", static_cast<double>(a.scalar_completed));
   return out;
@@ -75,6 +77,7 @@ exp::ScenarioOutput run_identical_kernel(bool smoke) {
   const arch::RunResult off = run(arch::TelemetryConfig{});
   const arch::RunResult on = run(telemetry_on());
   exp::ScenarioOutput out;
+  out.sim(off.cycles + on.cycles, off.total_instret() + on.total_instret());
   out.metric("identical",
              (off.cycles == on.cycles && off.counters == on.counters) ? 1.0 : 0.0)
       .metric("cycles", static_cast<double>(off.cycles));
@@ -103,6 +106,7 @@ exp::ScenarioOutput run_overhead_soak(bool smoke) {
   const double wall_off = time_one(off);
   const double wall_on = time_one(on);
   exp::ScenarioOutput out;
+  out.sim(static_cast<u64>(reps) * 2 * cycles);
   out.metric("wall_off_ms", wall_off)
       .metric("wall_on_ms", wall_on)
       .metric("overhead", wall_off > 0.0 ? wall_on / wall_off - 1.0 : 0.0);
@@ -113,6 +117,7 @@ exp::Suite make_suite(const exp::CliOptions& options) {
   const bool smoke = options.smoke;
   exp::Suite suite;
   suite.name = "telemetry_overhead";
+  suite.perf_record = "sim_telemetry";
   suite.title = "Telemetry perturbation and overhead guard";
 
   exp::Scenario s1;
@@ -152,6 +157,11 @@ exp::Suite make_suite(const exp::CliOptions& options) {
              [smoke](const exp::SweepReport& report) {
                if (smoke) {
                  // Sub-millisecond smoke runs are all timer noise.
+                 return std::string();
+               }
+               if (bench::sanitizers_active()) {
+                 // Sanitized builds distort component costs by several x;
+                 // only the counters gates are meaningful there.
                  return std::string();
                }
                const auto off = report.metric("overhead/soak", "wall_off_ms");

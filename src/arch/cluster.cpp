@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "obs/collector.hpp"
 #include "obs/telemetry.hpp"
+#include "prof/profile.hpp"
 #include "qos/adaptive_share.hpp"
 
 namespace mp3d::arch {
@@ -75,6 +76,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)), map_(cfg_) {
     cores_.push_back(
         std::make_unique<SnitchCore>(cfg_, static_cast<u16>(c), c / cfg_.cores_per_tile));
   }
+  if (cfg_.profiling.enabled()) {
+    prof_ = std::make_unique<prof::StepProfiler>(cfg_.profiling);
+    next_prof_at_ = cfg_.profiling.stride;
+  }
   init_telemetry();
 }
 
@@ -122,6 +127,11 @@ void Cluster::init_telemetry() {
   }
   marker_track_ = trace_->add_track("kernel", gmem_pid + 1, "markers", 0);
   ev_marker_ = trace_->intern("marker");
+  if (prof_ != nullptr && cfg_.profiling.trace_counters) {
+    // Host-time counter tracks live in their own pseudo process so the
+    // ns-valued series do not stretch the cycle-valued simulated rows.
+    prof_->set_trace(trace_, trace_->add_track("host", gmem_pid + 2, "prof", 0));
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -188,6 +198,10 @@ void Cluster::load_program(const isa::Program& program) {
     next_sample_at_ = telemetry_->timeline() != nullptr
                           ? telemetry_->timeline()->window_cycles()
                           : sim::kNever;
+  }
+  if (prof_ != nullptr) {
+    prof_->reset();
+    next_prof_at_ = cfg_.profiling.stride;
   }
 }
 
@@ -666,18 +680,26 @@ void Cluster::serve_ctrl() {
 void Cluster::step() {
   ++cycle_;
 
+  // Host self-profiling. next_prof_at_ is kNever unless profiling is on;
+  // on unsampled cycles the timer holds null and every mark is a dead
+  // null check, so the simulation's phase order below is untouched.
+  const bool prof_sampled = cycle_ >= next_prof_at_;
+  prof::StepTimer timer(prof_sampled ? prof_.get() : nullptr);
+
   // 1. Global memory: bandwidth-limited service; completions this cycle.
   // The DMA engines' aggregate backlog is handed to the channel arbiter so
   // a nonzero bulk guarantee reserves bytes only while bulk demand exists.
   gmem_responses_.clear();
   gmem_refills_.clear();
   gmem_->step(cycle_, gmem_responses_, gmem_refills_, dma_->backlog_bytes());
+  timer.mark(prof::Phase::kGmem);
   for (const u32 token : gmem_refills_) {
     const auto [tile, line_addr] = refill_slots_[token];
     icaches_[tile]->finish_refill(line_addr);
     refill_free_.push_back(token);
     ++activity_;
   }
+  timer.mark(prof::Phase::kIcache);
   for (const MemResponse& resp : gmem_responses_) {
     if (qos_ != nullptr) {
       // FIFO service order: responses complete in issue order (refills
@@ -687,11 +709,13 @@ void Cluster::step() {
     }
     deliver_response_to_core(resp);
   }
+  timer.mark(prof::Phase::kGmem);
 
   // 1b. DMA engines: bulk transfers claim the byte budget the cycle's
   // scalar and refill traffic left over, moving words straight into the
   // SPM banks through the engines' dedicated wide port.
   activity_ += dma_->step(cycle_, *gmem_, *this);
+  timer.mark(prof::Phase::kDma);
 
   // 1c. Adaptive gmem-share controller: on its window boundaries, observe
   // the closed window's scalar p99 + bulk pressure and re-actuate the
@@ -699,30 +723,42 @@ void Cluster::step() {
   if (qos_ != nullptr) {
     qos_->step(cycle_);
   }
+  timer.mark(prof::Phase::kQos);
 
   // 2. Request network.
   noc_->step_requests(cycle_, [this](u32 dst_tile, BankRequest&& breq) {
     deliver_remote_request(dst_tile, std::move(breq));
   });
+  timer.mark(prof::Phase::kNoc);
 
   // 3. Banks and control peripherals.
   serve_banks();
+  timer.mark(prof::Phase::kBanks);
   serve_ctrl();
+  timer.mark(prof::Phase::kCtrl);
 
   // 4. Response network.
   noc_->step_responses(cycle_, [this](u32 /*dst_tile*/, MemResponse&& resp) {
     deliver_response_to_core(resp);
   });
+  timer.mark(prof::Phase::kNoc);
 
   // 5. Cores.
   for (auto& core : cores_) {
     core->step(cycle_);
   }
+  timer.mark(prof::Phase::kCores);
 
   // 6. Telemetry. next_sample_at_ is kNever unless windowed sampling is
   // on, so the disabled path costs exactly this comparison.
   if (cycle_ >= next_sample_at_) {
     sample_window();
+  }
+  timer.mark(prof::Phase::kTelemetry);
+
+  if (prof_sampled) {
+    next_prof_at_ += prof_->stride();
+    timer.finish(cycle_);
   }
 }
 
@@ -817,6 +853,9 @@ RunResult Cluster::finish(bool eoc, bool deadlock, bool hit_max, u64 /*max_cycle
     result.core_errors[i] = cores_[i]->error_message();
   }
   collect_counters(result.counters);
+  if (prof_ != nullptr) {
+    prof_->note_total_cycles(cycle_);
+  }
   if (telemetry_ != nullptr) {
     if (trace_ != nullptr) {
       // Balance spans still open at run end (sleeping cores, a stall in

@@ -39,6 +39,10 @@ class Telemetry;
 class Trace;
 }
 
+namespace mp3d::prof {
+class StepProfiler;
+}
+
 namespace mp3d::qos {
 class AdaptiveShareController;
 }
@@ -172,6 +176,11 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   obs::Telemetry* telemetry() { return telemetry_.get(); }
   const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
+  /// The host-side step profiler, or nullptr when
+  /// ClusterConfig::profiling is disabled.
+  prof::StepProfiler* profiler() { return prof_.get(); }
+  const prof::StepProfiler* profiler() const { return prof_.get(); }
+
   /// Snapshot every component's cumulative counters (the same assembly
   /// RunResult::counters gets at finish; also the windowed sampler's
   /// source).
@@ -272,6 +281,11 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   sim::Cycle next_sample_at_ = sim::kNever;
   u32 marker_track_ = 0;
   u32 ev_marker_ = 0;
+
+  // Host-side self-profiling (null / kNever when disabled, same contract
+  // as telemetry: one always-false comparison per step).
+  std::unique_ptr<prof::StepProfiler> prof_;
+  sim::Cycle next_prof_at_ = sim::kNever;
 
   // Progress tracking for deadlock detection.
   u64 activity_ = 0;

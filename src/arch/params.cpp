@@ -69,6 +69,8 @@ void ClusterConfig::validate() const {
              "event tracing needs a nonzero buffer capacity");
   MP3D_CHECK(telemetry.sample_window == 0 || telemetry.sample_window >= 16,
              "counter sampling below 16-cycle windows measures the sampler, not the run");
+  MP3D_CHECK(profiling.stride <= (1u << 20),
+             "profiling strides above 2^20 cycles would never sample a real run");
 }
 
 std::string ClusterConfig::to_string() const {
@@ -91,6 +93,9 @@ std::string ClusterConfig::to_string() const {
   }
   if (telemetry.trace) {
     oss << ", event trace on";
+  }
+  if (profiling.enabled()) {
+    oss << ", host profiling stride " << profiling.stride;
   }
   return oss.str();
 }

@@ -63,6 +63,29 @@ struct AdaptiveShareConfig {
   u32 raise_demand_pct = 50;  ///< bulk demand cycles per window that trigger a raise, %
 };
 
+/// Host-side self-profiling (src/prof): where does the *simulator's* wall
+/// clock go? When enabled, every `stride`-th call of Cluster::step is
+/// timed phase by phase (gmem, icache refills, DMA, QoS, interconnect,
+/// banks, ctrl, cores, telemetry) with monotonic-clock reads at the phase
+/// boundaries, and the per-phase nanoseconds are extrapolated by the
+/// stride into a component breakdown of step time. Off by default; the
+/// disabled path costs one compare against a deadline parked at "never"
+/// plus dead null checks, so simulation counters and results are
+/// bit-identical either way (profiling observes the host, never the sim).
+struct ProfilingConfig {
+  /// Sample one out of every `stride` simulated cycles; 0 = profiling off.
+  /// Larger strides cost less (default 64 keeps enabled overhead in the
+  /// low single-digit percent) at coarser attribution granularity.
+  u32 stride = 0;
+  /// Mirror the sampled per-phase host nanoseconds onto the event trace
+  /// as `host.*` counter tracks (needs TelemetryConfig::trace; no-op
+  /// otherwise), so one Perfetto file shows simulated events and host
+  /// cost side by side.
+  bool trace_counters = false;
+
+  bool enabled() const { return stride > 0; }
+};
+
 /// Simulation telemetry (src/obs). Both modes are off by default and the
 /// simulator pays nothing for them when disabled: the per-cycle hot path
 /// only ever compares the cycle against a sample deadline that is parked
@@ -129,6 +152,9 @@ struct ClusterConfig {
 
   // ----- telemetry ---------------------------------------------------------
   TelemetryConfig telemetry;
+
+  // ----- host-side self-profiling ------------------------------------------
+  ProfilingConfig profiling;
 
   // ----- derived ----------------------------------------------------------
   u32 num_tiles() const { return num_groups * tiles_per_group; }

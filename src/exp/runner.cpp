@@ -61,6 +61,28 @@ std::size_t SweepReport::failures() const {
   return n;
 }
 
+std::size_t SweepReport::successes() const {
+  return results.size() - failures();
+}
+
+u64 SweepReport::total_sim_cycles() const {
+  u64 total = 0;
+  for (const ScenarioResult& r : results) {
+    if (r.ok()) {
+      total += r.output.sim_cycles;
+    }
+  }
+  return total;
+}
+
+double ScenarioResult::mcycles_per_sec() const {
+  const double wall = perf_wall_ms();
+  if (output.sim_cycles == 0 || !(wall > 0.0)) {
+    return 0.0;
+  }
+  return static_cast<double>(output.sim_cycles) / (wall * 1e3);
+}
+
 u32 default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<u32>(hw);

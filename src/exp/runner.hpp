@@ -21,6 +21,13 @@ struct ScenarioResult {
   double wall_ms = 0;  ///< this scenario's own wall clock
 
   bool ok() const { return error.empty(); }
+  /// Wall clock for throughput accounting: the scenario's own min-of-N
+  /// override when set, the runner-measured wall otherwise.
+  double perf_wall_ms() const {
+    return output.perf_wall_ms > 0.0 ? output.perf_wall_ms : wall_ms;
+  }
+  /// Simulated Mcycles per host second (0 when no sim work was credited).
+  double mcycles_per_sec() const;
 };
 
 struct SweepReport {
@@ -36,6 +43,9 @@ struct SweepReport {
   /// All result rows in scenario order.
   std::vector<Row> rows() const;
   std::size_t failures() const;
+  std::size_t successes() const;
+  /// Simulated cycles summed over successful scenarios.
+  u64 total_sim_cycles() const;
 };
 
 struct RunnerOptions {

@@ -225,6 +225,7 @@ ScenarioOutput run_qos_scenario(bool adaptive, u64 share, u64 load, u64 bw,
   const QosSoakResult r = run_qos_soak(p);
 
   ScenarioOutput out;
+  out.sim(p.cycles);
   out.metric("adaptive", adaptive ? 1.0 : 0.0)
       .metric("share", adaptive ? -1.0 : static_cast<double>(share))
       .metric("load", static_cast<double>(load))

@@ -13,6 +13,7 @@
 
 #include "common/table.hpp"
 #include "obs/collector.hpp"
+#include "prof/record.hpp"
 
 namespace mp3d::exp {
 
@@ -211,6 +212,14 @@ std::string report_to_json(const Suite& suite, const SweepReport& report,
   j += "  \"jobs\": " + std::to_string(report.jobs) + ",\n";
   j += "  \"smoke\": " + std::string(options.smoke ? "true" : "false") + ",\n";
   j += "  \"wall_ms\": " + json_number(report.wall_ms) + ",\n";
+  if (const u64 sim_cycles = report.total_sim_cycles(); sim_cycles > 0) {
+    const double secs = report.wall_ms / 1000.0;
+    j += "  \"sim_cycles\": " + std::to_string(sim_cycles) + ",\n";
+    j += "  \"mcycles_per_sec\": " +
+         json_number(secs > 0.0 ? static_cast<double>(sim_cycles) / (secs * 1e6)
+                                : 0.0) +
+         ",\n";
+  }
   j += "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const ScenarioResult& r = report.results[i];
@@ -222,6 +231,10 @@ std::string report_to_json(const Suite& suite, const SweepReport& report,
       j += "      \"error\": \"" + json_escape(r.error) + "\",\n";
     }
     j += "      \"wall_ms\": " + json_number(r.wall_ms) + ",\n";
+    if (r.output.sim_cycles > 0) {
+      j += "      \"sim_cycles\": " + std::to_string(r.output.sim_cycles) + ",\n";
+      j += "      \"mcycles_per_sec\": " + json_number(r.mcycles_per_sec()) + ",\n";
+    }
     j += "      \"metrics\": {";
     for (std::size_t m = 0; m < r.output.metrics.size(); ++m) {
       const auto& [key, val] = r.output.metrics[m];
@@ -413,20 +426,43 @@ int suite_main(int argc, char** argv,
   }
   if (!suite.perf_record.empty() && options.filters.empty()) {
     // Perf trajectory record: only unfiltered sweeps are comparable runs.
+    // Failed scenarios are excluded throughout — a crash that skips the
+    // expensive half of a sweep must not read as a speedup.
     const double secs = report.wall_ms / 1000.0;
-    const double rate =
-        secs > 0.0 ? static_cast<double>(report.results.size()) / secs : 0.0;
-    std::string j = "{\n";
-    j += "  \"bench\": \"" + json_escape(suite.perf_record) + "\",\n";
-    j += "  \"suite\": \"" + json_escape(suite.name) + "\",\n";
-    j += "  \"scenarios\": " + std::to_string(report.results.size()) + ",\n";
-    j += "  \"jobs\": " + std::to_string(report.jobs) + ",\n";
-    j += "  \"smoke\": " + std::string(options.smoke ? "true" : "false") + ",\n";
-    j += "  \"wall_ms\": " + json_number(report.wall_ms) + ",\n";
-    j += "  \"scenarios_per_sec\": " + json_number(rate) + "\n";
-    j += "}\n";
+    prof::PerfRecord rec;
+    rec.bench = suite.perf_record;
+    rec.suite = suite.name;
+    rec.scenarios = report.successes();
+    rec.jobs = report.jobs;
+    rec.smoke = options.smoke;
+    rec.wall_ms = report.wall_ms;
+    rec.scenarios_per_sec =
+        secs > 0.0 ? static_cast<double>(report.successes()) / secs : 0.0;
+    rec.sim_cycles = report.total_sim_cycles();
+    rec.mcycles_per_sec =
+        secs > 0.0 ? static_cast<double>(rec.sim_cycles) / (secs * 1e6) : 0.0;
+    for (const ScenarioResult& r : report.results) {
+      if (!r.ok()) {
+        continue;
+      }
+      prof::WorkloadRecord w;
+      w.name = r.name;
+      w.wall_ms = r.perf_wall_ms();
+      w.sim_cycles = r.output.sim_cycles;
+      w.sim_instret = r.output.sim_instret;
+      w.mcycles_per_sec = r.mcycles_per_sec();
+      if (w.sim_instret > 0 && w.wall_ms > 0.0) {
+        w.minstr_per_sec = static_cast<double>(w.sim_instret) / (w.wall_ms * 1e3);
+      }
+      for (const auto& [key, val] : r.output.metrics) {
+        if (key.rfind("prof.", 0) == 0) {
+          w.breakdown.emplace_back(key, val);
+        }
+      }
+      rec.workloads.push_back(std::move(w));
+    }
     const std::string path = dir + "/BENCH_" + suite.perf_record + ".json";
-    const std::string err = write_text_file(path, j);
+    const std::string err = write_text_file(path, rec.to_json());
     if (err.empty()) {
       std::printf("[perf record written to %s]\n", path.c_str());
     } else {
@@ -435,9 +471,19 @@ int suite_main(int argc, char** argv,
     }
   }
 
-  std::printf("sweep '%s': %zu scenario(s), jobs=%u, wall %.0f ms\n",
-              suite.name.c_str(), report.results.size(), report.jobs,
-              report.wall_ms);
+  if (const u64 sim_cycles = report.total_sim_cycles(); sim_cycles > 0) {
+    const double secs = report.wall_ms / 1000.0;
+    std::printf("sweep '%s': %zu scenario(s), jobs=%u, wall %.0f ms, "
+                "%llu sim cycles (%.2f Mcycles/s)\n",
+                suite.name.c_str(), report.results.size(), report.jobs,
+                report.wall_ms,
+                static_cast<unsigned long long>(sim_cycles),
+                secs > 0.0 ? static_cast<double>(sim_cycles) / (secs * 1e6) : 0.0);
+  } else {
+    std::printf("sweep '%s': %zu scenario(s), jobs=%u, wall %.0f ms\n",
+                suite.name.c_str(), report.results.size(), report.jobs,
+                report.wall_ms);
+  }
 
   return (report.failures() == 0 && gates_ok && io_ok) ? 0 : 1;
 }

@@ -71,9 +71,10 @@ struct Suite {
       gates;
 
   /// When nonempty, unfiltered runs also write `BENCH_<perf_record>.json`
-  /// (scenario count, wall clock, scenarios/sec, jobs, smoke) next to the
-  /// data files, so CI's artifact trail records the sweep's simulation
-  /// throughput over time.
+  /// (a prof::PerfRecord: wall clock, scenarios/sec, sim Mcycles/s and one
+  /// workload entry per successful scenario) next to the data files, so
+  /// CI's artifact trail records the sweep's simulation throughput over
+  /// time and `perf_compare` can gate regressions against a baseline.
   std::string perf_record;
 };
 

@@ -15,6 +15,7 @@ const char* phase_code(Phase phase) {
     case Phase::kBegin: return "B";
     case Phase::kEnd: return "E";
     case Phase::kInstant: return "i";
+    case Phase::kCounter: return "C";
   }
   return "i";
 }

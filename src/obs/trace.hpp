@@ -20,7 +20,7 @@
 
 namespace mp3d::obs {
 
-enum class Phase : u8 { kBegin, kEnd, kInstant };
+enum class Phase : u8 { kBegin, kEnd, kInstant, kCounter };
 
 /// One timeline row in the exported trace.
 struct TraceTrack {
@@ -55,6 +55,12 @@ class Trace {
   }
   void instant(u32 track, u32 name, sim::Cycle cycle, u64 arg = 0) {
     push(TraceEvent{cycle, track, name, Phase::kInstant, arg});
+  }
+  /// Counter sample: exported as a Chrome "C" event, which Perfetto
+  /// renders as a per-(process, name) counter track. Used for the host
+  /// profiler's `host.*` nanosecond series alongside simulated events.
+  void counter(u32 track, u32 name, sim::Cycle cycle, u64 value) {
+    push(TraceEvent{cycle, track, name, Phase::kCounter, value});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

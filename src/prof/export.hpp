@@ -1,0 +1,27 @@
+// SPDX-License-Identifier: Apache-2.0
+// Profile exporters: turn a ProfileReport into files external flame-graph
+// tooling reads directly.
+//
+//  - to_collapsed(): Brendan Gregg folded-stack lines
+//    ("Cluster::step;<phase> <ns>"), pipe into flamegraph.pl or inferno.
+//  - to_speedscope(): a speedscope.app "sampled" profile with one frame
+//    per phase; drop the file onto https://www.speedscope.app.
+//
+// Both are deterministic given the report (no timestamps, no host names)
+// so bench artifacts diff cleanly between runs of equal profiles.
+#pragma once
+
+#include <string>
+
+#include "prof/profile.hpp"
+
+namespace mp3d::prof {
+
+/// Folded-stack lines, one per phase with nonzero sampled time.
+std::string to_collapsed(const ProfileReport& report);
+
+/// Speedscope JSON ("sampled" profile, weights in nanoseconds). `name`
+/// labels the profile in the speedscope UI.
+std::string to_speedscope(const ProfileReport& report, const std::string& name);
+
+}  // namespace mp3d::prof

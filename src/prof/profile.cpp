@@ -1,0 +1,102 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "prof/profile.hpp"
+
+#include "obs/trace.hpp"
+
+namespace mp3d::prof {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kGmem: return "gmem";
+    case Phase::kIcache: return "icache";
+    case Phase::kDma: return "dma";
+    case Phase::kQos: return "qos";
+    case Phase::kNoc: return "noc";
+    case Phase::kBanks: return "banks";
+    case Phase::kCtrl: return "ctrl";
+    case Phase::kCores: return "cores";
+    case Phase::kTelemetry: return "telemetry";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+u64 ProfileReport::phases_total_ns() const {
+  u64 total = 0;
+  for (const u64 ns : phase_ns) {
+    total += ns;
+  }
+  return total;
+}
+
+double ProfileReport::phase_frac(Phase phase) const {
+  const u64 total = phases_total_ns();
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(phase_ns[static_cast<std::size_t>(phase)]) /
+         static_cast<double>(total);
+}
+
+double ProfileReport::coverage() const {
+  if (step_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(phases_total_ns()) / static_cast<double>(step_ns);
+}
+
+double ProfileReport::est_step_ms() const {
+  return static_cast<double>(step_ns) * stride / 1e6;
+}
+
+StepProfiler::StepProfiler(const arch::ProfilingConfig& config) : config_(config) {}
+
+void StepProfiler::set_trace(obs::Trace* trace, u32 track) {
+  trace_ = trace;
+  trace_track_ = track;
+  if (trace_ == nullptr) {
+    return;
+  }
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    trace_names_[p] = trace_->intern(
+        std::string("host.") + phase_name(static_cast<Phase>(p)) + "_ns");
+  }
+  trace_step_name_ = trace_->intern("host.step_ns");
+}
+
+void StepProfiler::finish_cycle(u64 step_ns, sim::Cycle cycle) {
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    phase_ns_[p] += cycle_phase_ns_[p];
+  }
+  step_ns_ += step_ns;
+  ++sampled_cycles_;
+  if (trace_ != nullptr) {
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      if (cycle_phase_ns_[p] != 0) {
+        trace_->counter(trace_track_, trace_names_[p], cycle, cycle_phase_ns_[p]);
+      }
+    }
+    trace_->counter(trace_track_, trace_step_name_, cycle, step_ns);
+  }
+  cycle_phase_ns_.fill(0);
+}
+
+void StepProfiler::reset() {
+  phase_ns_.fill(0);
+  cycle_phase_ns_.fill(0);
+  step_ns_ = 0;
+  sampled_cycles_ = 0;
+  total_cycles_ = 0;
+}
+
+ProfileReport StepProfiler::report() const {
+  ProfileReport r;
+  r.stride = config_.stride == 0 ? 1 : config_.stride;
+  r.total_cycles = total_cycles_;
+  r.sampled_cycles = sampled_cycles_;
+  r.step_ns = step_ns_;
+  r.phase_ns = phase_ns_;
+  return r;
+}
+
+}  // namespace mp3d::prof

@@ -1,0 +1,123 @@
+// SPDX-License-Identifier: Apache-2.0
+// Perf-trajectory records and the regression comparator.
+//
+// Every suite with Suite::perf_record set writes a `BENCH_<name>.json`
+// next to its data files: suite-level wall clock and simulation
+// throughput plus one workload entry per successful scenario (wall, sim
+// cycles, host Mcycles/s, and the `prof.*` component breakdown when the
+// scenario measured one). CI uploads them per PR, so the repository
+// accumulates a sim-speed trajectory; `compare_records` turns a
+// checked-in baseline plus fresh records into per-workload verdicts and
+// the perf CI job fails on a >10 % throughput regression.
+//
+// The schema is forward-tolerant: unknown keys are ignored (a newer
+// writer never breaks an older comparator), while records missing the
+// required keys ("bench" and "wall_ms"; per workload "name" and
+// "wall_ms") are rejected loudly — a malformed baseline must fail the
+// gate, not silently pass it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mp3d::prof {
+
+/// One workload (scenario) of a perf record.
+struct WorkloadRecord {
+  std::string name;
+  double wall_ms = 0.0;          ///< best-rep wall clock of the workload
+  u64 sim_cycles = 0;            ///< simulated cycles the workload advanced
+  u64 sim_instret = 0;           ///< simulated instructions retired
+  double mcycles_per_sec = 0.0;  ///< sim_cycles / wall, the headline metric
+  double minstr_per_sec = 0.0;
+  /// Host-time component breakdown (`prof.*` metrics, e.g. fraction of
+  /// Cluster::step time per phase). Informational; not compared.
+  std::vector<std::pair<std::string, double>> breakdown;
+};
+
+/// One BENCH_*.json perf record.
+struct PerfRecord {
+  std::string bench;   ///< record name (the BENCH_<bench>.json stem)
+  std::string suite;   ///< suite that produced it
+  u32 schema = 2;
+  u64 scenarios = 0;   ///< successful scenarios only
+  u32 jobs = 0;
+  bool smoke = false;
+  double wall_ms = 0.0;
+  double scenarios_per_sec = 0.0;
+  u64 sim_cycles = 0;            ///< summed over successful scenarios
+  double mcycles_per_sec = 0.0;  ///< sim_cycles / sweep wall
+  std::vector<WorkloadRecord> workloads;
+
+  std::string to_json() const;
+  const WorkloadRecord* find(const std::string& name) const;
+};
+
+struct ParseResult {
+  PerfRecord record;
+  std::string error;  ///< empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse a perf record from JSON text. Unknown keys are tolerated;
+/// missing required keys, malformed JSON, and non-finite/absent required
+/// numbers yield an error.
+ParseResult parse_perf_record(const std::string& json);
+
+/// Load and parse `path` (a missing or unreadable file is an error).
+ParseResult load_perf_record(const std::string& path);
+
+/// Fold N records of one bench into a best-of record: per workload the
+/// fastest rep (max throughput, min wall), suite-level likewise. Running
+/// the bench min-of-N and comparing the fold absorbs scheduler noise.
+/// Workloads are matched by name; the first record's order is kept.
+PerfRecord best_of(const std::vector<PerfRecord>& records);
+
+enum class Verdict {
+  kRegression,
+  kWithinTolerance,
+  kImprovement,
+  kNoData,  ///< missing counterpart or unusable numbers (0 / NaN wall)
+};
+
+const char* verdict_name(Verdict verdict);
+
+struct WorkloadComparison {
+  std::string name;
+  std::string metric;      ///< what was compared ("Mcycles/s", "1/wall")
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;      ///< current / baseline (higher = faster)
+  Verdict verdict = Verdict::kNoData;
+};
+
+struct Comparison {
+  std::vector<WorkloadComparison> workloads;
+  double tolerance = 0.0;
+
+  /// True when any workload regressed beyond the tolerance. kNoData
+  /// entries do not trip this — but a baseline that parses to *zero*
+  /// comparable workloads should be treated as a setup error by callers.
+  bool regression() const;
+  std::size_t count(Verdict verdict) const;
+  std::size_t comparable() const;  ///< workloads with a non-kNoData verdict
+};
+
+/// Compare per-workload throughput: ratio < 1 - tolerance is a
+/// regression, > 1 + tolerance an improvement. Prefers mcycles_per_sec
+/// (recomputed from sim_cycles / wall_ms when unset); workloads without
+/// simulated-cycle accounting fall back to inverse wall clock. When
+/// neither record carries workloads (schema-1 writers), the suite-level
+/// throughput is compared as a single "(sweep)" entry.
+Comparison compare_records(const PerfRecord& baseline, const PerfRecord& current,
+                           double tolerance = 0.10);
+
+/// Render the comparison as a table: GitHub-flavored markdown (for the CI
+/// job summary) or plain text.
+std::string comparison_table(const Comparison& comparison, bool markdown);
+
+}  // namespace mp3d::prof

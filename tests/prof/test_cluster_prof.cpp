@@ -1,0 +1,141 @@
+// SPDX-License-Identifier: Apache-2.0
+// Host profiling wired into the cluster: enabling it must not perturb the
+// simulation by a single counter, the sampled breakdown must cover the
+// measured step time, and trace_counters must land host.* "C" events in
+// the exported trace.
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "prof/profile.hpp"
+#include "testing.hpp"
+
+namespace mp3d::arch {
+namespace {
+
+RunResult run_matmul(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  return kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p),
+                             10'000'000);
+}
+
+TEST(ClusterProf, DisabledByDefault) {
+  Cluster cluster(ClusterConfig::mini());
+  EXPECT_EQ(cluster.profiler(), nullptr);
+}
+
+TEST(ClusterProf, CountersBitIdenticalWithProfilingOn) {
+  const ClusterConfig off = ClusterConfig::mini();
+  ClusterConfig on = ClusterConfig::mini();
+  on.profiling.stride = 8;
+  const RunResult a = run_matmul(off);
+  const RunResult b = run_matmul(on);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (const auto& [name, value] : a.counters.all()) {
+    EXPECT_EQ(b.counters.get(name), value) << "counter " << name;
+  }
+  EXPECT_EQ(a.counters.all().size(), b.counters.all().size());
+}
+
+TEST(ClusterProf, SamplesAndCoversStepTime) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.profiling.stride = 8;
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p), 10'000'000);
+  ASSERT_TRUE(r.ok());
+  const prof::StepProfiler* profiler = cluster.profiler();
+  ASSERT_NE(profiler, nullptr);
+  const prof::ProfileReport rep = profiler->report();
+  EXPECT_EQ(rep.stride, 8u);
+  EXPECT_EQ(rep.total_cycles, r.cycles);
+  // ~1 in 8 cycles sampled (the run length need not divide the stride).
+  EXPECT_GE(rep.sampled_cycles, r.cycles / 8 - 1);
+  EXPECT_LE(rep.sampled_cycles, r.cycles / 8 + 1);
+  EXPECT_GT(rep.step_ns, 0u);
+  // The marks tile the step contiguously, so attributed time covers the
+  // measured step time (sim_speed gates >= 0.9; assert a looser floor here
+  // to keep the unit robust on noisy CI hosts).
+  EXPECT_GE(rep.coverage(), 0.5);
+  EXPECT_LE(rep.phases_total_ns(), rep.step_ns);
+  // The cores phase is real work on every cycle; it must carry time.
+  EXPECT_GT(rep.phase_ns[static_cast<std::size_t>(prof::Phase::kCores)], 0u);
+}
+
+TEST(ClusterProf, BackToBackRunsResetTheProfile) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.profiling.stride = 8;
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const kernels::Kernel kernel = kernels::build_matmul_dma(cfg, p);
+  const RunResult first = kernels::run_kernel(cluster, kernel, 10'000'000);
+  const prof::ProfileReport rep1 = cluster.profiler()->report();
+  const RunResult second = kernels::run_kernel(cluster, kernel, 10'000'000);
+  const prof::ProfileReport rep2 = cluster.profiler()->report();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.cycles, second.cycles);
+  // Equal-length runs sample the same cycle count; a missing reset would
+  // have doubled the second report.
+  EXPECT_EQ(rep1.sampled_cycles, rep2.sampled_cycles);
+  EXPECT_EQ(rep1.total_cycles, rep2.total_cycles);
+}
+
+TEST(ClusterProf, TraceCountersLandInTheEventTrace) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.profiling.stride = 8;
+  cfg.profiling.trace_counters = true;
+  cfg.telemetry.trace = true;
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  const RunResult r =
+      kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p), 10'000'000);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(cluster.telemetry(), nullptr);
+  const obs::Trace* trace = cluster.telemetry()->trace();
+  ASSERT_NE(trace, nullptr);
+  u64 counter_events = 0;
+  for (const obs::TraceEvent& event : trace->events()) {
+    counter_events += event.phase == obs::Phase::kCounter ? 1 : 0;
+  }
+  EXPECT_GT(counter_events, 0u);
+  const std::string json = obs::to_chrome_json(*trace);
+  EXPECT_NE(json.find("host.step_ns"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // The host pseudo-process groups the counter tracks in Perfetto.
+  EXPECT_NE(json.find("\"name\":\"host\""), std::string::npos);
+}
+
+TEST(ClusterProf, NoTraceCountersWithoutOptIn) {
+  ClusterConfig cfg = ClusterConfig::mini();
+  cfg.profiling.stride = 8;
+  cfg.telemetry.trace = true;  // tracing on, counter mirroring off
+  Cluster cluster(cfg);
+  kernels::MatmulParams p;
+  p.m = 32;
+  p.t = 16;
+  ASSERT_TRUE(kernels::run_kernel(cluster, kernels::build_matmul_dma(cfg, p),
+                                  10'000'000)
+                  .ok());
+  const obs::Trace* trace = cluster.telemetry()->trace();
+  ASSERT_NE(trace, nullptr);
+  for (const obs::TraceEvent& event : trace->events()) {
+    EXPECT_NE(event.phase, obs::Phase::kCounter);
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::arch

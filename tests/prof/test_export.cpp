@@ -1,0 +1,61 @@
+// SPDX-License-Identifier: Apache-2.0
+// Exporter formats: collapsed stacks fold to the measured totals and the
+// speedscope JSON is a valid "sampled" profile over the same weights.
+#include <gtest/gtest.h>
+
+#include "prof/export.hpp"
+
+namespace mp3d::prof {
+namespace {
+
+ProfileReport sample_report() {
+  ProfileReport r;
+  r.stride = 64;
+  r.total_cycles = 64'000;
+  r.sampled_cycles = 1'000;
+  r.step_ns = 1'000'000;
+  r.phase_ns[static_cast<std::size_t>(Phase::kCores)] = 600'000;
+  r.phase_ns[static_cast<std::size_t>(Phase::kNoc)] = 250'000;
+  r.phase_ns[static_cast<std::size_t>(Phase::kGmem)] = 100'000;
+  return r;
+}
+
+TEST(ProfExport, CollapsedLinesCarryPhaseWeights) {
+  const std::string out = to_collapsed(sample_report());
+  EXPECT_NE(out.find("Cluster::step;cores 600000\n"), std::string::npos);
+  EXPECT_NE(out.find("Cluster::step;noc 250000\n"), std::string::npos);
+  EXPECT_NE(out.find("Cluster::step;gmem 100000\n"), std::string::npos);
+  // 50k ns of measured step time were not attributed to any phase.
+  EXPECT_NE(out.find("Cluster::step;(unattributed) 50000\n"), std::string::npos);
+  // Zero phases are omitted.
+  EXPECT_EQ(out.find(";dma "), std::string::npos);
+}
+
+TEST(ProfExport, CollapsedOmitsResidualWhenFullyAttributed) {
+  ProfileReport r = sample_report();
+  r.step_ns = r.phases_total_ns();
+  EXPECT_EQ(to_collapsed(r).find("(unattributed)"), std::string::npos);
+}
+
+TEST(ProfExport, EmptyReportYieldsEmptyCollapsed) {
+  EXPECT_TRUE(to_collapsed(ProfileReport{}).empty());
+}
+
+TEST(ProfExport, SpeedscopeIsASampledProfileOverTheSameWeights) {
+  const std::string out = to_speedscope(sample_report(), "unit test");
+  EXPECT_NE(out.find("\"$schema\":\"https://www.speedscope.app/"
+                     "file-format-schema.json\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"sampled\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"unit test\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit\":\"nanoseconds\""), std::string::npos);
+  // Three nonzero phases -> three frames, samples [0],[1],[2], weights in
+  // phase order, endValue = total attributed ns.
+  EXPECT_NE(out.find("Cluster::step cores"), std::string::npos);
+  EXPECT_NE(out.find("\"samples\":[[0],[1],[2]]"), std::string::npos);
+  EXPECT_NE(out.find("\"weights\":[100000,250000,600000]"), std::string::npos);
+  EXPECT_NE(out.find("\"endValue\":950000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp3d::prof

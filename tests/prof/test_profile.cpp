@@ -1,0 +1,134 @@
+// SPDX-License-Identifier: Apache-2.0
+// StepProfiler / StepTimer / ProfileReport unit behavior: attribution,
+// extrapolation arithmetic, reset semantics, trace-counter mirroring.
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "prof/profile.hpp"
+
+namespace mp3d::prof {
+namespace {
+
+arch::ProfilingConfig stride(u32 n) {
+  arch::ProfilingConfig cfg;
+  cfg.stride = n;
+  return cfg;
+}
+
+TEST(ProfProfile, PhaseNamesAreUniqueAndNonEmpty) {
+  for (std::size_t a = 0; a < kNumPhases; ++a) {
+    const std::string name_a = phase_name(static_cast<Phase>(a));
+    EXPECT_FALSE(name_a.empty());
+    for (std::size_t b = a + 1; b < kNumPhases; ++b) {
+      EXPECT_NE(name_a, phase_name(static_cast<Phase>(b)));
+    }
+  }
+}
+
+TEST(ProfProfile, AccumulatesPhaseAndStepTime) {
+  StepProfiler profiler(stride(4));
+  profiler.add(Phase::kGmem, 100);
+  profiler.add(Phase::kCores, 300);
+  profiler.finish_cycle(500, 4);
+  profiler.add(Phase::kGmem, 50);
+  profiler.finish_cycle(60, 8);
+  profiler.note_total_cycles(100);
+
+  const ProfileReport r = profiler.report();
+  EXPECT_EQ(r.stride, 4u);
+  EXPECT_EQ(r.sampled_cycles, 2u);
+  EXPECT_EQ(r.total_cycles, 100u);
+  EXPECT_EQ(r.step_ns, 560u);
+  EXPECT_EQ(r.phase_ns[static_cast<std::size_t>(Phase::kGmem)], 150u);
+  EXPECT_EQ(r.phase_ns[static_cast<std::size_t>(Phase::kCores)], 300u);
+  EXPECT_EQ(r.phases_total_ns(), 450u);
+  EXPECT_DOUBLE_EQ(r.phase_frac(Phase::kCores), 300.0 / 450.0);
+  EXPECT_DOUBLE_EQ(r.coverage(), 450.0 / 560.0);
+  // est_step_ms extrapolates sampled step time by the stride.
+  EXPECT_DOUBLE_EQ(r.est_step_ms(), 560.0 * 4 / 1e6);
+}
+
+TEST(ProfProfile, EmptyReportIsAllZeros) {
+  StepProfiler profiler(stride(16));
+  const ProfileReport r = profiler.report();
+  EXPECT_EQ(r.sampled_cycles, 0u);
+  EXPECT_EQ(r.phases_total_ns(), 0u);
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(r.phase_frac(Phase::kGmem), 0.0);
+}
+
+TEST(ProfProfile, ResetDropsSamples) {
+  StepProfiler profiler(stride(2));
+  profiler.add(Phase::kBanks, 40);
+  profiler.finish_cycle(40, 2);
+  profiler.note_total_cycles(10);
+  profiler.reset();
+  const ProfileReport r = profiler.report();
+  EXPECT_EQ(r.sampled_cycles, 0u);
+  EXPECT_EQ(r.step_ns, 0u);
+  EXPECT_EQ(r.total_cycles, 0u);
+  EXPECT_EQ(r.phases_total_ns(), 0u);
+}
+
+TEST(ProfProfile, StepTimerAttributesBoundaries) {
+  StepProfiler profiler(stride(1));
+  {
+    StepTimer timer(&profiler);
+    timer.mark(Phase::kGmem);
+    timer.mark(Phase::kCores);
+    timer.finish(1);
+  }
+  const ProfileReport r = profiler.report();
+  EXPECT_EQ(r.sampled_cycles, 1u);
+  // Wall clock moved forward monotonically; every phase is <= the step.
+  EXPECT_LE(r.phases_total_ns(), r.step_ns);
+}
+
+TEST(ProfProfile, NullTimerIsInert) {
+  StepTimer timer(nullptr);
+  timer.mark(Phase::kGmem);
+  timer.finish(1);  // must not crash; nothing to record into
+}
+
+TEST(ProfProfile, FinishIsIdempotentAndRunByDestructor) {
+  StepProfiler profiler(stride(1));
+  {
+    StepTimer timer(&profiler);
+    timer.mark(Phase::kDma);
+    timer.finish(1);
+    timer.finish(1);  // second finish must not double-count
+  }                   // destructor runs after an explicit finish
+  {
+    StepTimer timer(&profiler);
+    timer.mark(Phase::kDma);
+  }  // destructor-only finish still records the cycle
+  EXPECT_EQ(profiler.report().sampled_cycles, 2u);
+}
+
+TEST(ProfProfile, MirrorsCountersOntoTrace) {
+  obs::Trace trace(1024);
+  const u32 track = trace.add_track("host", 0, "prof", 0);
+  StepProfiler profiler(stride(1));
+  profiler.set_trace(&trace, track);
+  profiler.add(Phase::kGmem, 120);
+  profiler.finish_cycle(200, 7);
+
+  // One counter per nonzero phase plus the step total.
+  ASSERT_EQ(trace.events().size(), 2u);
+  for (const obs::TraceEvent& event : trace.events()) {
+    EXPECT_EQ(event.phase, obs::Phase::kCounter);
+    EXPECT_EQ(event.cycle, 7u);
+  }
+  EXPECT_EQ(trace.names()[trace.events()[0].name], "host.gmem_ns");
+  EXPECT_EQ(trace.events()[0].arg, 120u);
+  EXPECT_EQ(trace.names()[trace.events()[1].name], "host.step_ns");
+  EXPECT_EQ(trace.events()[1].arg, 200u);
+
+  // The chrome export renders counter events with ph=C.
+  const std::string json = obs::to_chrome_json(trace);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("host.step_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp3d::prof

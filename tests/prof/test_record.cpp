@@ -1,0 +1,249 @@
+// SPDX-License-Identifier: Apache-2.0
+// Perf-record round-trip, parser edge cases, best-of folding and the
+// regression comparator — including the deliberate-20%-slowdown fixture
+// the CI perf gate's usefulness rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "prof/record.hpp"
+
+namespace mp3d::prof {
+namespace {
+
+PerfRecord sample_record() {
+  PerfRecord rec;
+  rec.bench = "sim_speed";
+  rec.suite = "sim_speed";
+  rec.scenarios = 2;
+  rec.jobs = 4;
+  rec.wall_ms = 1200.0;
+  rec.scenarios_per_sec = 2.0 / 1.2;
+  rec.sim_cycles = 3'000'000;
+  rec.mcycles_per_sec = 2.5;
+  WorkloadRecord w1;
+  w1.name = "speed/matmul_dma";
+  w1.wall_ms = 800.0;
+  w1.sim_cycles = 2'000'000;
+  w1.sim_instret = 5'000'000;
+  w1.mcycles_per_sec = 2.5;
+  w1.minstr_per_sec = 6.25;
+  w1.breakdown.emplace_back("prof.cores", 0.55);
+  w1.breakdown.emplace_back("prof.noc", 0.20);
+  rec.workloads.push_back(w1);
+  WorkloadRecord w2;
+  w2.name = "speed/gmem_soak";
+  w2.wall_ms = 400.0;
+  w2.sim_cycles = 1'000'000;
+  w2.mcycles_per_sec = 2.5;
+  rec.workloads.push_back(w2);
+  return rec;
+}
+
+/// Same workloads, `factor` x the throughput (1.0 = identical).
+PerfRecord scaled(const PerfRecord& base, double factor) {
+  PerfRecord rec = base;
+  rec.wall_ms = base.wall_ms / factor;
+  rec.mcycles_per_sec = base.mcycles_per_sec * factor;
+  for (WorkloadRecord& w : rec.workloads) {
+    w.wall_ms /= factor;
+    w.mcycles_per_sec *= factor;
+    w.minstr_per_sec *= factor;
+  }
+  return rec;
+}
+
+TEST(ProfRecord, JsonRoundTrip) {
+  const PerfRecord rec = sample_record();
+  const ParseResult parsed = parse_perf_record(rec.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const PerfRecord& r = parsed.record;
+  EXPECT_EQ(r.bench, rec.bench);
+  EXPECT_EQ(r.suite, rec.suite);
+  EXPECT_EQ(r.scenarios, rec.scenarios);
+  EXPECT_EQ(r.jobs, rec.jobs);
+  EXPECT_EQ(r.smoke, rec.smoke);
+  EXPECT_DOUBLE_EQ(r.wall_ms, rec.wall_ms);
+  EXPECT_EQ(r.sim_cycles, rec.sim_cycles);
+  ASSERT_EQ(r.workloads.size(), 2u);
+  EXPECT_EQ(r.workloads[0].name, "speed/matmul_dma");
+  EXPECT_EQ(r.workloads[0].sim_cycles, 2'000'000u);
+  EXPECT_EQ(r.workloads[0].sim_instret, 5'000'000u);
+  ASSERT_EQ(r.workloads[0].breakdown.size(), 2u);
+  EXPECT_EQ(r.workloads[0].breakdown[0].first, "prof.cores");
+  EXPECT_DOUBLE_EQ(r.workloads[0].breakdown[0].second, 0.55);
+}
+
+TEST(ProfRecord, MissingFileIsAnError) {
+  const ParseResult parsed =
+      load_perf_record("/nonexistent/BENCH_sim_speed.json");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("cannot open"), std::string::npos);
+}
+
+TEST(ProfRecord, MalformedJsonIsAnError) {
+  EXPECT_FALSE(parse_perf_record("").ok());
+  EXPECT_FALSE(parse_perf_record("{").ok());
+  EXPECT_FALSE(parse_perf_record("[1,2,3]").ok());
+  EXPECT_FALSE(parse_perf_record("{\"bench\": \"x\", }").ok());
+  EXPECT_FALSE(parse_perf_record("{\"bench\": \"x\"} trailing").ok());
+}
+
+TEST(ProfRecord, MissingRequiredKeysAreRejected) {
+  // No bench.
+  EXPECT_FALSE(parse_perf_record("{\"wall_ms\": 10}").ok());
+  // No wall_ms.
+  EXPECT_FALSE(parse_perf_record("{\"bench\": \"x\"}").ok());
+  // Workload without a name / without wall_ms.
+  EXPECT_FALSE(parse_perf_record(
+                   "{\"bench\":\"x\",\"wall_ms\":1,"
+                   "\"workloads\":[{\"wall_ms\":1}]}")
+                   .ok());
+  EXPECT_FALSE(parse_perf_record(
+                   "{\"bench\":\"x\",\"wall_ms\":1,"
+                   "\"workloads\":[{\"name\":\"w\"}]}")
+                   .ok());
+}
+
+TEST(ProfRecord, UnknownKeysAreTolerated) {
+  const ParseResult parsed = parse_perf_record(
+      "{\"bench\":\"x\",\"wall_ms\":10,\"future_field\":{\"a\":[1,2]},"
+      "\"workloads\":[{\"name\":\"w\",\"wall_ms\":5,\"new_key\":true}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.record.bench, "x");
+  ASSERT_EQ(parsed.record.workloads.size(), 1u);
+  EXPECT_EQ(parsed.record.workloads[0].name, "w");
+}
+
+TEST(ProfRecord, NullNumbersParseAsUnset) {
+  // json_number() writes "null" for inf/nan metrics; the reader must treat
+  // them as absent, not as parse failures.
+  const ParseResult parsed = parse_perf_record(
+      "{\"bench\":\"x\",\"wall_ms\":10,\"mcycles_per_sec\":null}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_DOUBLE_EQ(parsed.record.mcycles_per_sec, 0.0);
+}
+
+TEST(ProfRecord, TwentyPercentSlowdownIsARegression) {
+  const PerfRecord baseline = sample_record();
+  const PerfRecord slower = scaled(baseline, 0.80);  // deliberate 20 % loss
+  const Comparison cmp = compare_records(baseline, slower, 0.10);
+  EXPECT_TRUE(cmp.regression());
+  ASSERT_EQ(cmp.workloads.size(), 2u);
+  for (const WorkloadComparison& w : cmp.workloads) {
+    EXPECT_EQ(w.verdict, Verdict::kRegression) << w.name;
+    EXPECT_NEAR(w.ratio, 0.80, 1e-9) << w.name;
+  }
+}
+
+TEST(ProfRecord, IdenticalAndImprovedRunsPass) {
+  const PerfRecord baseline = sample_record();
+  const Comparison same = compare_records(baseline, scaled(baseline, 1.0), 0.10);
+  EXPECT_FALSE(same.regression());
+  EXPECT_EQ(same.count(Verdict::kWithinTolerance), 2u);
+
+  const Comparison faster =
+      compare_records(baseline, scaled(baseline, 1.5), 0.10);
+  EXPECT_FALSE(faster.regression());
+  EXPECT_EQ(faster.count(Verdict::kImprovement), 2u);
+
+  // A 5 % dip sits inside the 10 % tolerance band.
+  const Comparison noise =
+      compare_records(baseline, scaled(baseline, 0.95), 0.10);
+  EXPECT_FALSE(noise.regression());
+  EXPECT_EQ(noise.count(Verdict::kWithinTolerance), 2u);
+}
+
+TEST(ProfRecord, ZeroAndNanWallsYieldNoData) {
+  PerfRecord baseline = sample_record();
+  PerfRecord current = sample_record();
+  // Zero wall and throughput on one side: nothing to judge.
+  current.workloads[0].wall_ms = 0.0;
+  current.workloads[0].mcycles_per_sec = 0.0;
+  current.workloads[0].sim_cycles = 0;
+  // NaN wall on the other workload, no throughput either.
+  baseline.workloads[1].wall_ms = std::nan("");
+  baseline.workloads[1].mcycles_per_sec = 0.0;
+  baseline.workloads[1].sim_cycles = 0;
+  current.workloads[1].mcycles_per_sec = 0.0;
+  current.workloads[1].sim_cycles = 0;
+  const Comparison cmp = compare_records(baseline, current, 0.10);
+  EXPECT_FALSE(cmp.regression());
+  EXPECT_EQ(cmp.count(Verdict::kNoData), 2u);
+  EXPECT_EQ(cmp.comparable(), 0u);
+}
+
+TEST(ProfRecord, WorkloadDriftYieldsNoDataRows) {
+  PerfRecord baseline = sample_record();
+  PerfRecord current = sample_record();
+  current.workloads[1].name = "speed/renamed";  // dropped + added
+  const Comparison cmp = compare_records(baseline, current, 0.10);
+  ASSERT_EQ(cmp.workloads.size(), 3u);
+  EXPECT_EQ(cmp.workloads[0].verdict, Verdict::kWithinTolerance);
+  EXPECT_EQ(cmp.workloads[1].verdict, Verdict::kNoData);  // baseline-only
+  EXPECT_EQ(cmp.workloads[2].verdict, Verdict::kNoData);  // current-only
+  EXPECT_FALSE(cmp.regression());
+}
+
+TEST(ProfRecord, SuiteLevelFallbackForSchemaOneRecords) {
+  // Old records carry no workloads; the comparator still gates something.
+  const ParseResult baseline = parse_perf_record(
+      "{\"bench\":\"sim_qos\",\"wall_ms\":1000,\"scenarios_per_sec\":8,"
+      "\"sim_cycles\":2000000,\"mcycles_per_sec\":2.0}");
+  const ParseResult current = parse_perf_record(
+      "{\"bench\":\"sim_qos\",\"wall_ms\":1500,\"scenarios_per_sec\":5,"
+      "\"sim_cycles\":2000000,\"mcycles_per_sec\":1.33}");
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(current.ok());
+  const Comparison cmp =
+      compare_records(baseline.record, current.record, 0.10);
+  ASSERT_EQ(cmp.workloads.size(), 1u);
+  EXPECT_EQ(cmp.workloads[0].name, "(sweep)");
+  EXPECT_EQ(cmp.workloads[0].verdict, Verdict::kRegression);
+}
+
+TEST(ProfRecord, BestOfKeepsFastestRepPerWorkload) {
+  const PerfRecord slow = scaled(sample_record(), 0.5);
+  PerfRecord mixed = sample_record();
+  mixed.workloads[1] = scaled(sample_record(), 0.25).workloads[1];
+  const PerfRecord fast_second = scaled(sample_record(), 1.0);
+  const PerfRecord best = best_of({slow, mixed, fast_second});
+  ASSERT_EQ(best.workloads.size(), 2u);
+  EXPECT_DOUBLE_EQ(best.workloads[0].mcycles_per_sec, 2.5);  // from `mixed`
+  EXPECT_DOUBLE_EQ(best.workloads[1].mcycles_per_sec, 2.5);  // from 3rd run
+  EXPECT_DOUBLE_EQ(best.wall_ms, sample_record().wall_ms);   // min suite wall
+  EXPECT_TRUE(
+      compare_records(sample_record(), best, 0.10).count(Verdict::kRegression) ==
+      0u);
+}
+
+TEST(ProfRecord, ComparisonTableRendersBothFlavors) {
+  const PerfRecord baseline = sample_record();
+  const Comparison cmp = compare_records(baseline, scaled(baseline, 0.5), 0.10);
+  const std::string md = comparison_table(cmp, /*markdown=*/true);
+  EXPECT_NE(md.find("| workload |"), std::string::npos);
+  EXPECT_NE(md.find("REGRESSION"), std::string::npos);
+  const std::string txt = comparison_table(cmp, /*markdown=*/false);
+  EXPECT_EQ(txt.find('|'), std::string::npos);
+  EXPECT_NE(txt.find("REGRESSION"), std::string::npos);
+  // The summary tail must survive untruncated, newline included.
+  EXPECT_NE(md.find("no-data\n"), std::string::npos);
+  EXPECT_NE(txt.find("no-data\n"), std::string::npos);
+}
+
+TEST(ProfRecord, LoadsFromDisk) {
+  const std::string path = ::testing::TempDir() + "/BENCH_roundtrip.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << sample_record().to_json();
+  }
+  const ParseResult parsed = load_perf_record(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.record.bench, "sim_speed");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mp3d::prof
