@@ -9,9 +9,16 @@
 // all N records) so scheduler noise cannot fail the gate. Exit codes:
 // 0 = no regression, 1 = regression beyond the tolerance, 2 = usage or
 // I/O error (a missing or malformed record must fail loudly, not pass).
+//
+// --update-baseline rewrites the baseline file with the folded best-of
+// record instead of gating: run the bench N times on a quiet machine,
+// then ratchet the result in one step. A missing baseline file is fine
+// in this mode (first ratchet); when one exists the comparison table is
+// still printed so the delta being locked in is visible in the log.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,7 +31,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --baseline FILE [--tolerance PCT] [--markdown] "
-               "CURRENT [CURRENT...]\n",
+               "[--update-baseline] CURRENT [CURRENT...]\n",
                argv0);
   return 2;
 }
@@ -35,6 +42,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   double tolerance = 0.10;
   bool markdown = false;
+  bool update_baseline = false;
   std::vector<std::string> current_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,6 +65,8 @@ int main(int argc, char** argv) {
       tolerance = pct / 100.0;
     } else if (arg == "--markdown") {
       markdown = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return usage(argv[0]);
@@ -69,7 +79,7 @@ int main(int argc, char** argv) {
   }
 
   const prof::ParseResult baseline = prof::load_perf_record(baseline_path);
-  if (!baseline.ok()) {
+  if (!baseline.ok() && !update_baseline) {
     std::fprintf(stderr, "error: baseline: %s\n", baseline.error.c_str());
     return 2;
   }
@@ -80,7 +90,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
       return 2;
     }
-    if (parsed.record.bench != baseline.record.bench) {
+    if (baseline.ok() && parsed.record.bench != baseline.record.bench) {
       std::fprintf(stderr, "error: %s records bench '%s', baseline is '%s'\n",
                    path.c_str(), parsed.record.bench.c_str(),
                    baseline.record.bench.c_str());
@@ -90,29 +100,51 @@ int main(int argc, char** argv) {
   }
   const prof::PerfRecord current = prof::best_of(currents);
 
-  const prof::Comparison comparison =
-      prof::compare_records(baseline.record, current, tolerance);
-  if (markdown) {
-    std::printf("### %s: perf vs baseline (best of %zu run%s)\n\n",
-                baseline.record.bench.c_str(), currents.size(),
-                currents.size() == 1 ? "" : "s");
-  } else {
-    std::printf("%s: perf vs baseline (best of %zu run%s)\n",
-                baseline.record.bench.c_str(), currents.size(),
-                currents.size() == 1 ? "" : "s");
-  }
-  std::printf("%s", prof::comparison_table(comparison, markdown).c_str());
+  if (baseline.ok()) {
+    const prof::Comparison comparison =
+        prof::compare_records(baseline.record, current, tolerance);
+    if (markdown) {
+      std::printf("### %s: perf vs baseline (best of %zu run%s)\n\n",
+                  baseline.record.bench.c_str(), currents.size(),
+                  currents.size() == 1 ? "" : "s");
+    } else {
+      std::printf("%s: perf vs baseline (best of %zu run%s)\n",
+                  baseline.record.bench.c_str(), currents.size(),
+                  currents.size() == 1 ? "" : "s");
+    }
+    std::printf("%s", prof::comparison_table(comparison, markdown).c_str());
 
-  if (comparison.comparable() == 0) {
-    std::fprintf(stderr,
-                 "error: no workload was comparable between baseline and "
-                 "current records\n");
+    if (!update_baseline) {
+      if (comparison.comparable() == 0) {
+        std::fprintf(stderr,
+                     "error: no workload was comparable between baseline and "
+                     "current records\n");
+        return 2;
+      }
+      if (comparison.regression()) {
+        std::fprintf(stderr, "perf regression beyond %.0f%% tolerance\n",
+                     tolerance * 100.0);
+        return 1;
+      }
+      return 0;
+    }
+  }
+
+  // --update-baseline: ratchet the folded best-of record into the file.
+  std::ofstream out(baseline_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write baseline '%s'\n",
+                 baseline_path.c_str());
     return 2;
   }
-  if (comparison.regression()) {
-    std::fprintf(stderr, "perf regression beyond %.0f%% tolerance\n",
-                 tolerance * 100.0);
-    return 1;
+  out << current.to_json();
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: short write to baseline '%s'\n",
+                 baseline_path.c_str());
+    return 2;
   }
+  std::printf("baseline '%s' updated (%s, best of %zu run%s)\n",
+              baseline_path.c_str(), current.bench.c_str(), currents.size(),
+              currents.size() == 1 ? "" : "s");
   return 0;
 }

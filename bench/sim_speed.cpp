@@ -12,6 +12,10 @@
 //   - speed/telemetry_on: the same kernel with windowed sampling + tracing
 //   - speed/prof_overhead: profiling-off vs profiling-on wall clock
 //   - speed/prof_identical: profiling-on counters bit-identical to off
+//   - speed/wfi_dma_staged: wfi-heavy DMA-staged kernel under a slow
+//                         off-chip channel, fast-forward off vs on
+//   - speed/wfi_soak:     all-asleep DMA ping-pong soak, fast-forward
+//                         off vs on (the idle-cycle fast-forward showcase)
 //
 // Every scenario credits its simulated cycles, so the suite's perf record
 // (BENCH_sim_speed.json) carries per-workload host Mcycles/s plus the
@@ -23,13 +27,17 @@
 // 10 % (wall-clock gates skip under --smoke and sanitizers); profiling
 // never perturbs simulation counters.
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
+#include <stdexcept>
 
 #include "arch/cluster.hpp"
 #include "bench_util.hpp"
 #include "exp/scenarios_gmem.hpp"
 #include "exp/suite.hpp"
+#include "isa/assembler.hpp"
 #include "kernels/matmul.hpp"
+#include "kernels/simple_kernels.hpp"
 #include "prof/export.hpp"
 #include "prof/profile.hpp"
 
@@ -210,6 +218,170 @@ exp::ScenarioOutput run_prof_identical(bool smoke) {
   return out;
 }
 
+// ---- idle-cycle fast-forward contrast workloads ----------------------------
+//
+// Both run the same workload twice — ClusterConfig::fast_forward off, then
+// on — interleaved min-of-N like prof_overhead, and verify the two runs are
+// bit-identical (cycles + counters) before reporting the speedup. When the
+// MP3D_FAST_FORWARD env var is set (CI's A/B runs force both paths one
+// way), the contrast is meaningless: the scenarios report env_forced=1 and
+// the fast-forward gates skip.
+
+bool ff_env_forced() { return std::getenv("MP3D_FAST_FORWARD") != nullptr; }
+
+struct FfContrast {
+  double wall_off_ms = 1e300;
+  double wall_on_ms = 1e300;
+  u64 cycles = 0;
+  u64 instret = 0;
+  bool identical = false;
+};
+
+exp::ScenarioOutput ff_contrast_output(const FfContrast& c) {
+  exp::ScenarioOutput out;
+  out.sim(2 * c.cycles, 2 * c.instret);
+  out.perf_wall_ms = c.wall_off_ms + c.wall_on_ms;
+  out.metric("wall_off_ms", c.wall_off_ms)
+      .metric("wall_on_ms", c.wall_on_ms)
+      .metric("speedup", c.wall_on_ms > 0.0 ? c.wall_off_ms / c.wall_on_ms : 0.0)
+      .metric("identical", c.identical ? 1.0 : 0.0)
+      .metric("env_forced", ff_env_forced() ? 1.0 : 0.0)
+      .metric("cycles", static_cast<double>(c.cycles));
+  return out;
+}
+
+/// DMA-staged AXPY on a far-memory-class channel (latency 256 Ki cycles,
+/// think host-paged or CXL-attached backing store): the transfer wait
+/// dwarfs each chunk's compute, so the group leaders sleep on DMA
+/// completions and every other core sleeps at the chunk barriers with
+/// nothing left to overlap — ~99% of the run is a fully idle latency
+/// window. Icaches are pre-warmed: a cold fetch miss stalls its core
+/// *awake* for a full off-chip round trip, which would serialize the run
+/// behind refills and measure the icache, not the fast-forward engine.
+exp::ScenarioOutput run_wfi_dma_staged(bool smoke) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  cfg.gmem_latency = 262144;
+  cfg.validate();
+  const kernels::Kernel kernel = kernels::build_axpy_staged(
+      cfg, smoke ? 512U : 4096U, 3, /*use_dma=*/true);
+  FfContrast c;
+  arch::ClusterConfig off_cfg = cfg;
+  off_cfg.fast_forward = false;
+  arch::Cluster cluster_off(off_cfg);
+  arch::Cluster cluster_on(cfg);
+  arch::RunResult off;
+  arch::RunResult on;
+  for (int i = 0; i < reps_for(smoke); ++i) {
+    auto start = Clock::now();
+    off = kernels::run_kernel(cluster_off, kernel, 100'000'000,
+                              /*warm_icache=*/true);
+    c.wall_off_ms = std::min(c.wall_off_ms, ms_since(start));
+    start = Clock::now();
+    on = kernels::run_kernel(cluster_on, kernel, 100'000'000,
+                             /*warm_icache=*/true);
+    c.wall_on_ms = std::min(c.wall_on_ms, ms_since(start));
+  }
+  c.cycles = off.cycles + on.cycles;
+  c.instret = off.total_instret() + on.total_instret();
+  c.identical = off.cycles == on.cycles && off.counters == on.counters;
+  return ff_contrast_output(c);
+}
+
+/// All-asleep soak: core 0 ping-pongs tiny DMA transfers against a
+/// high-latency channel and sleeps until each completion wake; every other
+/// core parks in wfi. Nearly the entire run is a fully idle latency window
+/// — the span the fast-forward engine exists to skip.
+exp::ScenarioOutput run_wfi_soak(bool smoke) {
+  arch::ClusterConfig cfg = arch::ClusterConfig::mini();
+  cfg.gmem_latency = 512;
+  cfg.validate();
+  const u32 rounds = smoke ? 100 : 5'000;
+  const auto reg = [&](u32 offset) {
+    return std::to_string(cfg.ctrl_base + offset);
+  };
+  const std::string src = std::string(".equ EOC, ") + reg(arch::ctrl::kEoc) +
+                          "\n.equ DMA_SRC, " + reg(arch::ctrl::kDmaSrc) +
+                          "\n.equ DMA_DST, " + reg(arch::ctrl::kDmaDst) +
+                          "\n.equ DMA_LEN, " + reg(arch::ctrl::kDmaLen) +
+                          "\n.equ DMA_ROWS, " + reg(arch::ctrl::kDmaRows) +
+                          "\n.equ DMA_STRIDE, " + reg(arch::ctrl::kDmaStride) +
+                          "\n.equ DMA_WAKE, " + reg(arch::ctrl::kDmaWake) +
+                          "\n.equ DMA_START, " + reg(arch::ctrl::kDmaStart) +
+                          "\n.equ DMA_STATUS, " + reg(arch::ctrl::kDmaStatus) +
+                          "\n.equ ROUNDS, " + std::to_string(rounds) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    # Stage a small gmem -> SPM descriptor once; restart it every round.
+    li t0, DMA_SRC
+    li t1, 0x80100000
+    sw t1, 0(t0)
+    li t0, DMA_DST
+    li t1, 0x2000
+    sw t1, 0(t0)
+    li t0, DMA_LEN
+    li t1, 64
+    sw t1, 0(t0)
+    li t0, DMA_ROWS
+    li t1, 1
+    sw t1, 0(t0)
+    li t0, DMA_STRIDE
+    li t1, 64
+    sw t1, 0(t0)
+    li t0, DMA_WAKE
+    sw zero, 0(t0)            # wake core 0 on completion
+    li s2, ROUNDS
+round:
+    li t0, DMA_START
+    sw zero, 0(t0)
+    li t0, DMA_STATUS
+wait:
+    lw t1, 0(t0)              # nonzero read arms the completion wake
+    beqz t1, next
+    wfi                       # everyone asleep: the latency window is idle
+    j wait
+next:
+    addi s2, s2, -1
+    bnez s2, round
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+park:
+    wfi
+    j park
+)";
+  isa::AsmOptions asm_options;
+  asm_options.default_base = cfg.gmem_base;
+  const isa::Program program = isa::assemble(src, asm_options);
+  FfContrast c;
+  arch::ClusterConfig off_cfg = cfg;
+  off_cfg.fast_forward = false;
+  arch::Cluster cluster_off(off_cfg);
+  arch::Cluster cluster_on(cfg);
+  arch::RunResult off;
+  arch::RunResult on;
+  const auto run_one = [&](arch::Cluster& cluster) {
+    cluster.load_program(program);
+    return cluster.run(100'000'000);
+  };
+  for (int i = 0; i < reps_for(smoke); ++i) {
+    auto start = Clock::now();
+    off = run_one(cluster_off);
+    c.wall_off_ms = std::min(c.wall_off_ms, ms_since(start));
+    start = Clock::now();
+    on = run_one(cluster_on);
+    c.wall_on_ms = std::min(c.wall_on_ms, ms_since(start));
+  }
+  if (!off.eoc || !on.eoc) {
+    throw std::runtime_error("wfi_soak did not reach EOC");
+  }
+  c.cycles = off.cycles + on.cycles;
+  c.instret = off.total_instret() + on.total_instret();
+  c.identical = off.cycles == on.cycles && off.counters == on.counters;
+  return ff_contrast_output(c);
+}
+
 exp::Suite make_suite(const exp::CliOptions& options) {
   const bool smoke = options.smoke;
   exp::Suite suite;
@@ -260,6 +432,18 @@ exp::Suite make_suite(const exp::CliOptions& options) {
   s6.run = [smoke] { return run_prof_identical(smoke); };
   suite.registry.add(std::move(s6));
 
+  exp::Scenario s7;
+  s7.name = "speed/wfi_dma_staged";
+  s7.description = "wfi-heavy DMA-staged kernel, fast-forward off vs on";
+  s7.run = [smoke] { return run_wfi_dma_staged(smoke); };
+  suite.registry.add(std::move(s7));
+
+  exp::Scenario s8;
+  s8.name = "speed/wfi_soak";
+  s8.description = "all-asleep DMA ping-pong soak, fast-forward off vs on";
+  s8.run = [smoke] { return run_wfi_soak(smoke); };
+  suite.registry.add(std::move(s8));
+
   suite.gate("every workload reports simulated work",
              [](const exp::SweepReport& report) {
                for (const exp::ScenarioResult& r : report.results) {
@@ -280,6 +464,46 @@ exp::Suite make_suite(const exp::CliOptions& options) {
                if (*identical != 1.0) {
                  return std::string(
                      "counters diverged with host profiling enabled");
+               }
+               return std::string();
+             });
+
+  suite.gate("fast-forward is bit-identical on the wfi workloads",
+             [](const exp::SweepReport& report) {
+               for (const char* name : {"speed/wfi_dma_staged", "speed/wfi_soak"}) {
+                 const auto identical = report.metric(name, "identical");
+                 if (!identical) {
+                   return std::string(name) + " did not run";
+                 }
+                 if (*identical != 1.0) {
+                   return std::string(name) +
+                          ": counters diverged with fast-forward on";
+                 }
+               }
+               return std::string();
+             });
+
+  suite.gate("fast-forward delivers >= 3x host throughput on wfi workloads",
+             [smoke](const exp::SweepReport& report) {
+               if (smoke || bench::sanitizers_active()) {
+                 // Wall-clock gate: needs a release-like build and a
+                 // workload long enough to time.
+                 return std::string();
+               }
+               if (ff_env_forced()) {
+                 // MP3D_FAST_FORWARD pins both runs to one path; there is
+                 // no contrast to measure (CI's A/B sweeps do this).
+                 return std::string();
+               }
+               for (const char* name : {"speed/wfi_dma_staged", "speed/wfi_soak"}) {
+                 const auto speedup = report.metric(name, "speedup");
+                 if (!speedup) {
+                   return std::string(name) + " did not run";
+                 }
+                 if (*speedup < 3.0) {
+                   return std::string(name) + " speedup " +
+                          fmt_norm(*speedup, 2) + "x below the 3x floor";
+                 }
                }
                return std::string();
              });

@@ -154,10 +154,10 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   std::vector<u32> read_words(u32 addr, std::size_t count) const;
 
   // ---- component access (tests, calibration) --------------------------------
-  SnitchCore& core(u32 global_id) { return *cores_[global_id]; }
-  const SnitchCore& core(u32 global_id) const { return *cores_[global_id]; }
+  SnitchCore& core(u32 global_id) { return cores_[global_id]; }
+  const SnitchCore& core(u32 global_id) const { return cores_[global_id]; }
   SpmBank& bank(u32 tile, u32 bank_in_tile);
-  TileICache& icache(u32 tile) { return *icaches_[tile]; }
+  TileICache& icache(u32 tile) { return icaches_[tile]; }
   GlobalMemory& gmem() { return *gmem_; }
   Interconnect& interconnect() { return *noc_; }
   DmaSubsystem& dma() { return *dma_; }
@@ -189,6 +189,20 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   // ---- MemIssueSink ----------------------------------------------------------
   IssueResult issue_mem(const MemRequest& request) override;
   void request_icache_refill(u32 tile, u32 pc) override;
+  void note_core_asleep(u16 core) override;
+  void note_core_awake(u16 core) override;
+  void note_core_halted(u16 core, bool was_awake) override;
+
+  /// Effective fast-forward setting (ClusterConfig::fast_forward, overridden
+  /// by the MP3D_FAST_FORWARD environment variable at construction).
+  bool fast_forward_enabled() const { return fast_forward_; }
+  /// Runnable (non-halted, not token-less-sleeping) cores, maintained O(1)
+  /// on sleep/wake/halt transitions.
+  u32 awake_cores() const { return awake_cores_; }
+  /// Cycles skipped by fast-forward jumps since load_program (host-side
+  /// diagnostic; deliberately NOT a simulation counter, which must stay
+  /// bit-identical whether or not fast-forward is enabled).
+  u64 fast_forwarded_cycles() const { return ff_skipped_cycles_; }
 
   // ---- DmaSpmPort (dedicated wide SPM port of the DMA engines) --------------
   u32 dma_read_spm(u32 addr) override;
@@ -213,14 +227,27 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   std::string deadlock_diagnostic() const;
   void init_telemetry();
   void sample_window();
+  /// With every core asleep, jump cycle_ to one cycle before the earliest
+  /// pending event (DMA completion, gmem drain, NoC pipe, ctrl/bank work,
+  /// qos window, telemetry sample, prof stride, deadlock verdict,
+  /// max_cycles), charging skipped cycles exactly as if each had ticked.
+  void maybe_fast_forward(u64 max_cycles);
+  /// Earliest cycle any memory-system source can wake a core (kNever when
+  /// everything is drained). The deadlock watchdog consults this before
+  /// issuing a verdict so a long in-flight wait is not mistaken for a hang.
+  sim::Cycle next_wake_event() const;
 
   ClusterConfig cfg_;
   AddrMap map_;
   sim::Cycle cycle_ = 0;
 
-  std::vector<std::unique_ptr<SnitchCore>> cores_;
+  // Cores and icaches live in contiguous arrays (no per-element heap
+  // indirection): built once in the constructor with reserved capacity and
+  // never resized, so element addresses stay stable for the attach()
+  // pointers handed out in load_program.
+  std::vector<SnitchCore> cores_;
   std::vector<SpmBank> banks_;
-  std::vector<std::unique_ptr<TileICache>> icaches_;
+  std::vector<TileICache> icaches_;
   std::unique_ptr<Interconnect> noc_;
   std::unique_ptr<GlobalMemory> gmem_;
   std::unique_ptr<DmaSubsystem> dma_;
@@ -292,6 +319,26 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   u64 last_activity_value_ = 0;
   sim::Cycle last_activity_cycle_ = 0;
   static constexpr u64 kDeadlockWindow = 20000;
+
+  // ---- occupancy + idle-cycle fast-forward ---------------------------------
+  // O(1) occupancy counts, updated by the MemIssueSink transition hooks
+  // (note_core_asleep/awake/halted) instead of scanning every core.
+  u32 awake_cores_ = 0;
+  u32 halted_cores_ = 0;
+  // Phase 5 visits only runnable cores, in ascending id (request FIFO
+  // ordering into banks/noc/ctrl/gmem depends on core step order). Wakes
+  // append out of order and set the dirty flag; the list is re-sorted
+  // before stepping and compacted (serve_banks-style) as cores sleep/halt.
+  std::vector<u32> active_core_ids_;
+  bool active_dirty_ = false;
+  // Cluster-level wfi charge: each ticked cycle adds the count of
+  // token-less sleeping cores, and a fast-forward jump adds span x idle —
+  // bit-identical to every core bumping its own counter per slept cycle.
+  // (Core-local wfi_cycles_ still accrues when cores are stepped directly,
+  // outside the cluster's active-list loop.)
+  u64 wfi_idle_cycles_ = 0;
+  u64 ff_skipped_cycles_ = 0;  ///< host diagnostic, not a sim counter
+  bool fast_forward_ = true;   ///< cfg_.fast_forward after env override
 };
 
 }  // namespace mp3d::arch

@@ -66,7 +66,12 @@ void SnitchCore::deliver(const MemResponse& resp, sim::Cycle now) {
   --outstanding_;
 }
 
-void SnitchCore::wake(sim::Cycle /*now*/) { wake_tokens_ = std::min(wake_tokens_ + 1, 1U); }
+void SnitchCore::wake(sim::Cycle /*now*/) {
+  if (sink_ != nullptr && state_ == CoreState::kWfi && wake_tokens_ == 0) {
+    sink_->note_core_awake(global_id_);
+  }
+  wake_tokens_ = std::min(wake_tokens_ + 1, 1U);
+}
 
 bool SnitchCore::hazard(const Instr& in, sim::Cycle now) const {
   if (isa::reads_rs1(in) && reg_ready_[in.rs1] > now) {
@@ -346,6 +351,9 @@ void SnitchCore::execute(const Instr& in, sim::Cycle now) {
       state_ = CoreState::kHalted;
       exit_code_ = regs_[10];
       ++instret_;
+      if (sink_ != nullptr) {
+        sink_->note_core_halted(global_id_, /*was_awake=*/true);
+      }
       return;
     case Op::kEbreak:
       halt_error("ebreak executed at pc=0x" + std::to_string(pc_));
@@ -355,6 +363,9 @@ void SnitchCore::execute(const Instr& in, sim::Cycle now) {
         --wake_tokens_;
       } else {
         state_ = CoreState::kWfi;
+        if (sink_ != nullptr) {
+          sink_->note_core_asleep(global_id_);
+        }
         if (trace_ != nullptr) {
           trace_->begin(track_, ev_wfi_, now);
         }
@@ -422,9 +433,14 @@ void SnitchCore::csr_write(u16 /*csr*/, u32 /*value*/) {
 }
 
 void SnitchCore::halt_error(const std::string& message) {
+  const bool was_awake = runnable();
+  const bool was_halted = halted();
   state_ = CoreState::kError;
   error_ = message;
   exit_code_ = 0xDEAD;
+  if (sink_ != nullptr && !was_halted) {
+    sink_->note_core_halted(global_id_, was_awake);
+  }
 }
 
 void SnitchCore::set_trace(obs::Trace* trace, u32 track) {

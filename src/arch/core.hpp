@@ -39,6 +39,21 @@ class MemIssueSink {
   virtual IssueResult issue_mem(const MemRequest& request) = 0;
   /// Begin an instruction-cache refill for tile `tile` covering `pc`.
   virtual void request_icache_refill(u32 tile, u32 pc) = 0;
+
+  // Occupancy transitions, so the cluster can keep an O(1) awake-core count
+  // and an active-core list instead of scanning every cycle. "Awake" means
+  // runnable: kRunning, or kWfi holding a wake token (it resumes on its
+  // next step). Transitions are rare (sleep/wake/halt), so the virtual call
+  // is off the per-cycle hot path. Default no-ops keep test stubs simple.
+  /// Core entered token-less wfi (left the runnable set).
+  virtual void note_core_asleep(u16 core) { (void)core; }
+  /// A wake token reached a token-less sleeping core (runnable again).
+  virtual void note_core_awake(u16 core) { (void)core; }
+  /// Core halted (ecall) or faulted; `was_awake` = runnable just before.
+  virtual void note_core_halted(u16 core, bool was_awake) {
+    (void)core;
+    (void)was_awake;
+  }
 };
 
 enum class CoreState : u8 { kRunning, kWfi, kHalted, kError };
@@ -61,6 +76,13 @@ class SnitchCore {
   CoreState state() const { return state_; }
   bool halted() const { return state_ == CoreState::kHalted || state_ == CoreState::kError; }
   bool asleep() const { return state_ == CoreState::kWfi; }
+  /// True when step() would make progress: running, or sleeping with a
+  /// pending wake token (resumes on its next step). The cluster's
+  /// active-core list and awake count track exactly this predicate.
+  bool runnable() const {
+    return state_ == CoreState::kRunning ||
+           (state_ == CoreState::kWfi && wake_tokens_ > 0);
+  }
   u32 exit_code() const { return exit_code_; }
   u16 global_id() const { return global_id_; }
   u32 tile_id() const { return tile_id_; }

@@ -5,6 +5,7 @@
 // MemPool runtime never does this).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -41,6 +42,18 @@ class DecodedImage {
       }
     }
     return nullptr;
+  }
+
+  /// [base, end) byte extents of every decoded segment, in load order —
+  /// lets callers (icache pre-warming) walk exactly the loaded code
+  /// instead of guessing an address range.
+  std::vector<std::pair<u32, u32>> segment_spans() const {
+    std::vector<std::pair<u32, u32>> spans;
+    spans.reserve(segments_.size());
+    for (const DecodedSegment& seg : segments_) {
+      spans.emplace_back(seg.base, seg.end);
+    }
+    return spans;
   }
 
  private:

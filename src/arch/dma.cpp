@@ -217,6 +217,14 @@ u32 DmaSubsystem::step(sim::Cycle now, GlobalMemory& gmem, DmaSpmPort& spm) {
   return moved;
 }
 
+sim::Cycle DmaSubsystem::next_ready_cycle(sim::Cycle now) const {
+  sim::Cycle next = sim::kNever;
+  for (const DmaEngine& engine : engines_) {
+    next = std::min(next, engine.next_ready_cycle(now));
+  }
+  return next;
+}
+
 u64 DmaSubsystem::backlog_bytes() const {
   u64 total = 0;
   for (const DmaEngine& e : engines_) {

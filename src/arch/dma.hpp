@@ -139,6 +139,21 @@ class DmaEngine {
   u64 bytes_moved() const { return bytes_moved_; }
   u64 descriptors_completed() const { return descriptors_completed_; }
 
+  /// Next cycle this engine does observable work, for the cluster's
+  /// idle-cycle fast-forward. An engine with channel backlog claims bytes
+  /// every cycle, so the answer is `now + 1`; otherwise the only pending
+  /// event is the oldest completion-latency expiry (`done_at` is monotone),
+  /// or kNever when fully idle.
+  sim::Cycle next_ready_cycle(sim::Cycle now) const {
+    if (backlog_bytes_ > 0) {
+      return now + 1;
+    }
+    if (!completing_.empty()) {
+      return completing_.front().done_at;
+    }
+    return sim::kNever;
+  }
+
  private:
   void move_word(const DmaDescriptor& d, u32 word_index, GlobalMemory& gmem,
                  DmaSpmPort& spm);
@@ -206,6 +221,20 @@ class DmaSubsystem {
   /// Aggregate channel-byte backlog of every engine — the bulk-demand
   /// signal the gmem bounded-share arbiter reserves against.
   u64 backlog_bytes() const;
+
+  /// Minimum next_ready_cycle over every engine (kNever when all idle).
+  sim::Cycle next_ready_cycle(sim::Cycle now) const;
+
+  /// Account `span` skipped cycles: the per-cycle engine-service rotation
+  /// advances exactly as if step() had run `span` times (it rotates once
+  /// per cycle and determines engine service order, so a fast-forward jump
+  /// must leave it bit-identical to the ticked run). Engines themselves
+  /// have no per-idle-cycle state — only valid while next_ready_cycle()
+  /// lies beyond the skipped span.
+  void skip_cycles(u64 span) {
+    const u32 n = static_cast<u32>(engines_.size());
+    step_rr_ = n == 0 ? 0 : static_cast<u32>((step_rr_ + span % n) % n);
+  }
 
   bool idle() const;
   void reset();

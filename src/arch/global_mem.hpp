@@ -94,6 +94,25 @@ class GlobalMemory {
   /// trace is balanced.
   void close_trace_spans(sim::Cycle now);
 
+  /// Next cycle this memory does observable work, for the cluster's
+  /// idle-cycle fast-forward. While the scalar FIFO holds requests, bulk
+  /// demand or deficit credit is outstanding, or an arbiter stall span is
+  /// open, per-cycle state (budget arbitration, credit accrual/zeroing,
+  /// stall verdicts and their trace events) must evolve tick by tick, so
+  /// the answer is `now + 1`. Otherwise the only pending event is the
+  /// oldest in-flight completion (`done_at` is monotone), or kNever when
+  /// fully drained.
+  sim::Cycle next_completion_cycle(sim::Cycle now) const {
+    if (!queue_.empty() || pending_bulk_demand_ > 0 || bulk_credit_x100_ > 0 ||
+        in_bulk_stall_ || in_scalar_stall_) {
+      return now + 1;
+    }
+    if (!in_flight_.empty()) {
+      return in_flight_.front().done_at;
+    }
+    return sim::kNever;
+  }
+
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u64 bytes_transferred() const { return bytes_transferred_; }
   u64 scalar_bytes() const { return scalar_bytes_; }

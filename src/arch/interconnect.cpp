@@ -53,6 +53,7 @@ void Interconnect::push_request(u32 src_tile, u32 dst_tile, BankRequest&& reques
   const bool ok = req_ports_[port_index(src_tile, net)].queue.try_push(
       Flit<BankRequest>{dst_tile, std::move(request)});
   MP3D_ASSERT_MSG(ok, "push_request without can_push_request check");
+  ++in_flight_;
 }
 
 void Interconnect::push_response(u32 src_tile, u32 dst_tile, MemResponse&& response) {
@@ -61,6 +62,7 @@ void Interconnect::push_response(u32 src_tile, u32 dst_tile, MemResponse&& respo
   const bool ok = resp_ports_[port_index(src_tile, net)].queue.try_push(
       Flit<MemResponse>{dst_tile, std::move(response)});
   MP3D_ASSERT_MSG(ok, "push_response without can_push_response check");
+  ++in_flight_;
 }
 
 template <typename T, typename SinkT>
@@ -92,27 +94,50 @@ void Interconnect::step_ports(std::vector<Port<T>>& ports, sim::Cycle now,
       }
       --budget;
       Flit<T> flit = port.pipe.pop(now);
+      MP3D_ASSERT(in_flight_ > 0);
+      --in_flight_;
       sink(flit.dst, std::move(flit.payload));
     }
   }
 }
 
 void Interconnect::step_requests(sim::Cycle now, const RequestSink& sink) {
+  if (in_flight_ == 0) {
+    return;  // nothing queued or piped in either direction
+  }
   step_ports(req_ports_, now, sink, req_ingress_budget_, req_flits_, req_hol_blocked_);
 }
 
 void Interconnect::step_responses(sim::Cycle now, const ResponseSink& sink) {
+  if (in_flight_ == 0) {
+    return;
+  }
   step_ports(resp_ports_, now, sink, resp_ingress_budget_, resp_flits_,
              resp_hol_blocked_);
 }
 
-bool Interconnect::idle() const {
-  const auto port_idle = [](const auto& port) {
-    return port.queue.empty() && port.pipe.empty();
+sim::Cycle Interconnect::next_event_cycle(sim::Cycle now) const {
+  if (in_flight_ == 0) {
+    return sim::kNever;  // O(1) fast path: every port is drained
+  }
+  sim::Cycle next = sim::kNever;
+  const auto port_next = [&](const auto& port) {
+    if (!port.queue.empty()) {
+      next = now + 1;  // injects into its pipe next step
+    } else if (!port.pipe.empty()) {
+      next = std::min(next, port.pipe.front_ready_at());
+    }
   };
-  return std::all_of(req_ports_.begin(), req_ports_.end(), port_idle) &&
-         std::all_of(resp_ports_.begin(), resp_ports_.end(), port_idle);
+  for (const auto& port : req_ports_) {
+    port_next(port);
+  }
+  for (const auto& port : resp_ports_) {
+    port_next(port);
+  }
+  return next;
 }
+
+bool Interconnect::idle() const { return in_flight_ == 0; }
 
 void Interconnect::reset_run_state() {
   for (auto& port : req_ports_) {
@@ -123,6 +148,7 @@ void Interconnect::reset_run_state() {
     port.queue.clear();
     port.pipe.clear();
   }
+  in_flight_ = 0;
   req_flits_ = 0;
   resp_flits_ = 0;
   req_hol_blocked_ = 0;

@@ -58,6 +58,18 @@ class Interconnect {
   void step_responses(sim::Cycle now, const ResponseSink& sink);
 
   bool idle() const;
+
+  /// Next cycle any flit moves, for the cluster's idle-cycle fast-forward.
+  /// A non-empty egress queue injects next cycle (`now + 1`); otherwise the
+  /// answer is the earliest pipe-front ready cycle — which may lie in the
+  /// past when delivery was head-of-line blocked, naturally forbidding a
+  /// jump — or kNever when every port is drained. The per-cycle delivery
+  /// rotation is derived from the cycle number itself, so it needs no
+  /// catch-up on a jump. An O(1) occupancy count answers the common
+  /// fully-drained case without scanning the ports (this is called on
+  /// every failed fast-forward attempt).
+  sim::Cycle next_event_cycle(sim::Cycle now) const;
+
   void add_counters(sim::CounterSet& counters) const;
 
   /// Drop in-flight flits and zero the statistics. Called between program
@@ -94,6 +106,7 @@ class Interconnect {
   std::vector<u8> req_ingress_budget_;   ///< per (tile, net), reset each cycle
   std::vector<u8> resp_ingress_budget_;
 
+  u64 in_flight_ = 0;  ///< flits in any queue or pipe (push..deliver)
   u64 req_flits_ = 0;
   u64 resp_flits_ = 0;
   u64 req_hol_blocked_ = 0;

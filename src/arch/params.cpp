@@ -97,6 +97,9 @@ std::string ClusterConfig::to_string() const {
   if (profiling.enabled()) {
     oss << ", host profiling stride " << profiling.stride;
   }
+  if (!fast_forward) {
+    oss << ", fast-forward off";
+  }
   return oss.str();
 }
 

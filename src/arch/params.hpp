@@ -156,6 +156,15 @@ struct ClusterConfig {
   // ----- host-side self-profiling ------------------------------------------
   ProfilingConfig profiling;
 
+  // ----- simulation speed ---------------------------------------------------
+  /// Idle-cycle fast-forward: when every core sleeps in wfi and all pending
+  /// work has a computable ready cycle, jump the clock to the next event
+  /// instead of ticking. Counters, markers, telemetry, and traces are
+  /// bit-identical either way (cycles are charged as if ticked), so this is
+  /// on by default; the env var MP3D_FAST_FORWARD=0/1 overrides at Cluster
+  /// construction for A/B runs and CI.
+  bool fast_forward = true;
+
   // ----- derived ----------------------------------------------------------
   u32 num_tiles() const { return num_groups * tiles_per_group; }
   u32 num_cores() const { return num_tiles() * cores_per_tile; }

@@ -65,6 +65,9 @@ class AdaptiveShareController {
   void reset();
 
   u32 share_pct() const { return share_pct_; }
+  /// Cycle of the next window decision — an event boundary the cluster's
+  /// idle-cycle fast-forward must not jump across.
+  sim::Cycle next_window() const { return next_window_; }
   u64 adjustments() const { return raises_ + decays_; }
   u64 raises() const { return raises_; }
   u64 decays() const { return decays_; }

@@ -41,6 +41,14 @@ class DelayPipe {
     return entries_.front().item;
   }
 
+  /// Ready cycle of the oldest in-flight item (pre: !empty()). Entries are
+  /// monotone, so this is the pipe's next event cycle — it may lie in the
+  /// past when delivery was held up by endpoint back-pressure.
+  Cycle front_ready_at() const {
+    MP3D_ASSERT(!entries_.empty());
+    return entries_.front().ready_at;
+  }
+
   T pop(Cycle now) {
     MP3D_ASSERT(ready(now));
     T item = std::move(entries_.front().item);

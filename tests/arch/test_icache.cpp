@@ -103,6 +103,44 @@ park:
   EXPECT_EQ(r.counters.get("icache.misses"), 0U);
 }
 
+TEST(ICacheTiming, WarmIcachesCoversCodeBeyondFirstMiB) {
+  // Code placed 2 MiB past the gmem base: the warmer walks the image's
+  // actual segment extents, so distant segments are warmed too (a fixed
+  // [gmem_base, gmem_base + 1 MiB) scan would miss them). The far segment
+  // sits at +0x100 so its lines use different direct-mapped sets than the
+  // entry stub (aliasing would evict the stub and re-miss legitimately).
+  ClusterConfig cfg = ClusterConfig::tiny();
+  cfg.perfect_icache = false;
+  Cluster cluster(cfg);
+  const std::string src = ctrl_prelude(cfg) + R"(
+.text 0x80000000
+_start:
+    csrr t0, mhartid
+    bnez t0, park
+    li t1, 0x80200100
+    jr t1
+park:
+    wfi
+    j park
+.text 0x80200100
+far_loop_entry:
+    li t1, 200
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    li a0, 0
+    li t0, EOC
+    sw a0, 0(t0)
+)";
+  isa::AsmOptions opt;
+  opt.default_base = cfg.gmem_base;
+  cluster.load_program(isa::assemble(src, opt));
+  cluster.warm_icaches();
+  const RunResult r = cluster.run(100'000);
+  ASSERT_TRUE(r.eoc);
+  EXPECT_EQ(r.counters.get("icache.misses"), 0U);
+}
+
 TEST(ICacheTiming, RefillsConsumeOffChipBandwidth) {
   ClusterConfig cfg = ClusterConfig::tiny();
   cfg.perfect_icache = false;
