@@ -1,24 +1,39 @@
 // SPDX-License-Identifier: Apache-2.0
-// Perf-regression gate: compare fresh BENCH_*.json perf records against a
-// checked-in baseline.
+// Perf-regression gate: compare fresh BENCH_*.json perf records against
+// checked-in baselines.
 //
+// Single-record mode (one baseline file, N reps of its record):
 //   perf_compare --baseline bench/baselines/BENCH_sim_speed.json
 //                [--tolerance PCT] [--markdown] CURRENT.json [CURRENT.json...]
 //
-// Multiple CURRENT files are folded best-of (run the bench N times, pass
-// all N records) so scheduler noise cannot fail the gate. Exit codes:
-// 0 = no regression, 1 = regression beyond the tolerance, 2 = usage or
-// I/O error (a missing or malformed record must fail loudly, not pass).
+// Directory mode (every baseline the repo has, N rep directories):
+//   perf_compare --baseline-dir bench/baselines
+//                [--tolerance PCT] [--markdown] REP_DIR [REP_DIR...]
 //
-// --update-baseline rewrites the baseline file with the folded best-of
-// record instead of gating: run the bench N times on a quiet machine,
-// then ratchet the result in one step. A missing baseline file is fine
+// Directory mode discovers every `BENCH_*.json` under --baseline-dir and,
+// for each, folds the same-named record from every REP_DIR best-of and
+// compares. A baseline whose current record is missing from every REP_DIR
+// fails loudly (exit 2) — a suite silently dropping out of the perf job
+// must not pass the gate — and so does a REP_DIR record with no matching
+// baseline (a new perf_record suite must check its baseline in).
+//
+// Multiple CURRENT files / REP_DIRs are folded best-of (run the bench N
+// times, pass all N) so scheduler noise cannot fail the gate. Exit codes:
+// 0 = no regression, 1 = regression beyond the tolerance, 2 = usage or
+// I/O error; with several baselines the worst verdict wins.
+//
+// --update-baseline rewrites the baseline file(s) with the folded best-of
+// record instead of gating: run the bench(es) N times on a quiet machine,
+// then ratchet the results in one step. A missing baseline file is fine
 // in this mode (first ratchet); when one exists the comparison table is
 // still printed so the delta being locked in is visible in the log.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,53 +46,19 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --baseline FILE [--tolerance PCT] [--markdown] "
-               "[--update-baseline] CURRENT [CURRENT...]\n",
-               argv0);
+               "[--update-baseline] CURRENT [CURRENT...]\n"
+               "       %s --baseline-dir DIR [--tolerance PCT] [--markdown] "
+               "[--update-baseline] REP_DIR [REP_DIR...]\n",
+               argv0, argv0);
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string baseline_path;
-  double tolerance = 0.10;
-  bool markdown = false;
-  bool update_baseline = false;
-  std::vector<std::string> current_paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--baseline") {
-      if (++i >= argc) {
-        return usage(argv[0]);
-      }
-      baseline_path = argv[i];
-    } else if (arg == "--tolerance") {
-      if (++i >= argc) {
-        return usage(argv[0]);
-      }
-      char* end = nullptr;
-      const double pct = std::strtod(argv[i], &end);
-      if (end == argv[i] || *end != '\0' || !(pct >= 0.0) || pct >= 100.0) {
-        std::fprintf(stderr, "error: bad --tolerance '%s' (percent, 0-100)\n",
-                     argv[i]);
-        return 2;
-      }
-      tolerance = pct / 100.0;
-    } else if (arg == "--markdown") {
-      markdown = true;
-    } else if (arg == "--update-baseline") {
-      update_baseline = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
-      return usage(argv[0]);
-    } else {
-      current_paths.push_back(arg);
-    }
-  }
-  if (baseline_path.empty() || current_paths.empty()) {
-    return usage(argv[0]);
-  }
-
+/// Gate (or ratchet) one baseline file against its folded current
+/// records. Returns the exit code for this record; prints the comparison
+/// table either way.
+int compare_one(const std::string& baseline_path,
+                const std::vector<std::string>& current_paths, double tolerance,
+                bool markdown, bool update_baseline) {
   const prof::ParseResult baseline = prof::load_perf_record(baseline_path);
   if (!baseline.ok() && !update_baseline) {
     std::fprintf(stderr, "error: baseline: %s\n", baseline.error.c_str());
@@ -118,12 +99,13 @@ int main(int argc, char** argv) {
       if (comparison.comparable() == 0) {
         std::fprintf(stderr,
                      "error: no workload was comparable between baseline and "
-                     "current records\n");
+                     "current records of '%s'\n",
+                     baseline.record.bench.c_str());
         return 2;
       }
       if (comparison.regression()) {
-        std::fprintf(stderr, "perf regression beyond %.0f%% tolerance\n",
-                     tolerance * 100.0);
+        std::fprintf(stderr, "%s: perf regression beyond %.0f%% tolerance\n",
+                     baseline.record.bench.c_str(), tolerance * 100.0);
         return 1;
       }
       return 0;
@@ -147,4 +129,144 @@ int main(int argc, char** argv) {
               baseline_path.c_str(), current.bench.c_str(), currents.size(),
               currents.size() == 1 ? "" : "s");
   return 0;
+}
+
+/// `BENCH_*.json` filenames directly inside `dir`, sorted for a stable
+/// report order.
+std::vector<std::string> bench_record_names(const std::string& dir,
+                                            std::string& error) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 11 &&
+        name.substr(name.size() - 5) == ".json") {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    error = dir + ": " + ec.message();
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string baseline_dir;
+  double tolerance = 0.10;
+  bool markdown = false;
+  bool update_baseline = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (++i >= argc) {
+        return usage(argv[0]);
+      }
+      baseline_path = argv[i];
+    } else if (arg == "--baseline-dir") {
+      if (++i >= argc) {
+        return usage(argv[0]);
+      }
+      baseline_dir = argv[i];
+    } else if (arg == "--tolerance") {
+      if (++i >= argc) {
+        return usage(argv[0]);
+      }
+      char* end = nullptr;
+      const double pct = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || !(pct >= 0.0) || pct >= 100.0) {
+        std::fprintf(stderr, "error: bad --tolerance '%s' (percent, 0-100)\n",
+                     argv[i]);
+        return 2;
+      }
+      tolerance = pct / 100.0;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (baseline_path.empty() == baseline_dir.empty() || positional.empty()) {
+    return usage(argv[0]);  // exactly one of --baseline / --baseline-dir
+  }
+
+  if (!baseline_dir.empty()) {
+    std::string error;
+    const std::vector<std::string> baselines =
+        bench_record_names(baseline_dir, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: --baseline-dir %s\n", error.c_str());
+      return 2;
+    }
+    if (baselines.empty() && !update_baseline) {
+      std::fprintf(stderr, "error: no BENCH_*.json baselines in '%s'\n",
+                   baseline_dir.c_str());
+      return 2;
+    }
+    // Every record present in a rep dir needs a baseline: a new
+    // perf_record suite joining the CI loop must check its baseline in
+    // (or run with --update-baseline once to create it).
+    std::set<std::string> known(baselines.begin(), baselines.end());
+    std::set<std::string> fresh;
+    for (const std::string& dir : positional) {
+      for (const std::string& name : bench_record_names(dir, error)) {
+        fresh.insert(name);
+      }
+      if (!error.empty()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+    }
+    int exit_code = 0;
+    for (const std::string& name : fresh) {
+      if (known.count(name)) {
+        continue;
+      }
+      if (update_baseline) {
+        known.insert(name);  // first ratchet: create it below
+      } else {
+        std::fprintf(stderr,
+                     "error: %s has no baseline under '%s' — check one in "
+                     "(perf_compare --update-baseline)\n",
+                     name.c_str(), baseline_dir.c_str());
+        exit_code = 2;
+      }
+    }
+    for (const std::string& name : known) {
+      std::vector<std::string> currents;
+      for (const std::string& dir : positional) {
+        const std::string path = dir + "/" + name;
+        if (std::filesystem::exists(path)) {
+          currents.push_back(path);
+        }
+      }
+      if (currents.empty()) {
+        std::fprintf(stderr,
+                     "error: no current record for %s in any rep directory\n",
+                     name.c_str());
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      const int code = compare_one(baseline_dir + "/" + name, currents,
+                                   tolerance, markdown, update_baseline);
+      exit_code = std::max(exit_code, code);
+      std::printf("\n");
+    }
+    return exit_code;
+  }
+
+  return compare_one(baseline_path, positional, tolerance, markdown,
+                     update_baseline);
 }

@@ -149,9 +149,15 @@ SpmBank& Cluster::bank(u32 tile, u32 bank_in_tile) {
 
 void Cluster::load_program(const isa::Program& program) {
   image_ = std::make_unique<DecodedImage>(program);
+  entry_ = program.entry();
   for (const isa::Segment& seg : program.segments()) {
     write_words(seg.base, seg.words);
   }
+  reset_run_state();
+}
+
+void Cluster::reset_run_state() {
+  MP3D_CHECK(image_ != nullptr, "load a program before resetting run state");
   // Stacks live in the tile-sequential region: each core gets an equal
   // slice of its tile's sequential bytes, stack growing down from the top.
   const u32 stack_bytes =
@@ -161,7 +167,7 @@ void Cluster::load_program(const isa::Program& program) {
     const u32 lane = c % cfg_.cores_per_tile;
     const u32 sp = map_.seq_base(tile) + (lane + 1) * stack_bytes;
     cores_[c].attach(this, &icaches_[tile], image_.get());
-    cores_[c].reset(program.entry(), sp);
+    cores_[c].reset(entry_, sp);
   }
   // reset() does not route through the transition hooks; rebuild the
   // occupancy counts and the (fully populated, ascending) active list.
@@ -816,8 +822,6 @@ void Cluster::sample_window() {
   next_sample_at_ += telemetry_->timeline()->window_cycles();
 }
 
-bool Cluster::all_cores_halted() const { return halted_cores_ == cfg_.num_cores(); }
-
 void Cluster::note_core_asleep(u16 /*core*/) {
   MP3D_ASSERT(awake_cores_ > 0);
   --awake_cores_;
@@ -837,7 +841,7 @@ void Cluster::note_core_halted(u16 /*core*/, bool was_awake) {
   }
 }
 
-void Cluster::maybe_fast_forward(u64 max_cycles) {
+sim::Cycle Cluster::fast_forward_target(sim::Cycle bound) const {
   // Only a fully quiescent cycle may be skipped: every per-cycle source of
   // observable work reports its next event (or now + 1 when it must tick).
   // Landing one cycle *before* the earliest event lets the next step() run
@@ -851,19 +855,18 @@ void Cluster::maybe_fast_forward(u64 max_cycles) {
   // and the attempt bails as soon as the next cycle is pinned.
   const sim::Cycle floor = cycle_ + 1;
   if (!active_banks_.empty()) {
-    return;  // queued bank work is served every cycle
+    return floor;  // queued bank work is served every cycle
   }
   if (!ctrl_queue_.empty() && ctrl_queue_.front().ready_at <= floor) {
-    return;
+    return floor;
   }
-  sim::Cycle target = std::min<sim::Cycle>(max_cycles, last_activity_cycle_ + kDeadlockWindow);
-  target = std::min(target, gmem_->next_completion_cycle(cycle_));
+  sim::Cycle target = std::min(bound, gmem_->next_completion_cycle(cycle_));
   if (target <= floor) {
-    return;  // gmem granting/stalled: pins nearly every failed attempt
+    return floor;  // gmem granting/stalled: pins nearly every failed attempt
   }
   target = std::min(target, dma_->next_ready_cycle(cycle_));
   if (target <= floor) {
-    return;
+    return floor;
   }
   target = std::min(target, noc_->next_event_cycle(cycle_));
   if (!ctrl_queue_.empty()) {
@@ -874,9 +877,10 @@ void Cluster::maybe_fast_forward(u64 max_cycles) {
   }
   target = std::min(target, next_sample_at_);   // kNever when telemetry off
   target = std::min(target, next_prof_at_);     // kNever when profiling off
-  if (target <= floor) {
-    return;  // nothing to skip (or an event is already due/past)
-  }
+  return target;
+}
+
+void Cluster::skip_to(sim::Cycle target) {
   const u64 span = target - cycle_ - 1;
   // Charge the skipped cycles as if each had ticked: every non-halted core
   // is a token-less sleeper here (awake_cores_ == 0).
@@ -884,6 +888,29 @@ void Cluster::maybe_fast_forward(u64 max_cycles) {
   dma_->skip_cycles(span);  // keep the engine-service rotation bit-exact
   cycle_ += span;
   ff_skipped_cycles_ += span;
+}
+
+void Cluster::maybe_fast_forward(u64 max_cycles) {
+  const sim::Cycle bound =
+      std::min<sim::Cycle>(max_cycles, last_activity_cycle_ + kDeadlockWindow);
+  const sim::Cycle target = fast_forward_target(bound);
+  if (target <= cycle_ + 1) {
+    return;  // nothing to skip (or an event is already due/past)
+  }
+  skip_to(target);
+}
+
+void Cluster::step_component(sim::Cycle now) {
+  MP3D_ASSERT(now == cycle_ + 1);
+  (void)now;
+  step();
+}
+
+sim::Cycle Cluster::next_event_cycle(sim::Cycle /*now*/) const {
+  if (awake_cores_ > 0) {
+    return cycle_ + 1;  // a runnable core executes every cycle
+  }
+  return fast_forward_target(sim::kNever);
 }
 
 sim::Cycle Cluster::next_wake_event() const {

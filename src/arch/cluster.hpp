@@ -32,6 +32,7 @@
 #include "arch/params.hpp"
 #include "isa/program.hpp"
 #include "sim/counters.hpp"
+#include "sim/stepped.hpp"
 #include "sim/types.hpp"
 
 namespace mp3d::obs {
@@ -125,7 +126,9 @@ struct RunResult {
   bool ok() const { return eoc && !deadlock && exit_code == 0; }
 };
 
-class Cluster : public MemIssueSink, public DmaSpmPort {
+class Cluster final : public MemIssueSink,
+                      public DmaSpmPort,
+                      public sim::SteppedComponent {
  public:
   explicit Cluster(ClusterConfig cfg);
   ~Cluster() override;
@@ -135,6 +138,11 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
 
   const ClusterConfig& config() const { return cfg_; }
   const AddrMap& addr_map() const { return map_; }
+
+  /// No activity for this many cycles (with every wake oracle reporting
+  /// kNever) is a deadlock verdict — shared by Cluster::run and the
+  /// system-level driver so both watchdogs agree cycle-for-cycle.
+  static constexpr u64 kDeadlockWindow = 20000;
 
   /// Load a program image: code/data into global memory or SPM by address,
   /// reset all cores to the entry point, clear caches and statistics.
@@ -199,10 +207,62 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   /// Runnable (non-halted, not token-less-sleeping) cores, maintained O(1)
   /// on sleep/wake/halt transitions.
   u32 awake_cores() const { return awake_cores_; }
+  u32 halted_cores() const { return halted_cores_; }
   /// Cycles skipped by fast-forward jumps since load_program (host-side
   /// diagnostic; deliberately NOT a simulation counter, which must stay
   /// bit-identical whether or not fast-forward is enabled).
   u64 fast_forwarded_cycles() const { return ff_skipped_cycles_; }
+
+  // ---- run-loop machinery (shared with the system-level driver) -------------
+  // sys::System::run drives N clusters with the same phase ordering,
+  // fast-forward jump logic and deadlock watchdog as Cluster::run; these
+  // are the pieces both loops are built from.
+
+  /// A core wrote the EOC register (the run's natural end).
+  bool eoc_signaled() const { return eoc_; }
+  bool all_cores_halted() const { return halted_cores_ == cfg_.num_cores(); }
+  /// Every core is token-less asleep (none halted-out): a fast-forward
+  /// jump may be attempted.
+  bool quiescent() const {
+    return awake_cores_ == 0 && halted_cores_ < cfg_.num_cores();
+  }
+  /// Earliest cycle any memory-system source can wake a core (kNever when
+  /// everything is drained). The deadlock watchdog consults this before
+  /// issuing a verdict so a long in-flight wait is not mistaken for a hang.
+  sim::Cycle next_wake_event() const;
+  /// The idle-cycle fast-forward oracle: with every core asleep, the
+  /// earliest future cycle (capped at `bound`) at which any per-cycle
+  /// source does observable work. A result <= now() + 1 means the next
+  /// cycle is pinned and nothing can be skipped. Pure: charging the jump
+  /// is skip_to()'s job.
+  sim::Cycle fast_forward_target(sim::Cycle bound) const;
+  /// Jump the clock to one cycle before `target` (pre: quiescent() and
+  /// fast_forward_target(...) returned `target` > now() + 1), charging the
+  /// skipped cycles exactly as if each had ticked.
+  void skip_to(sim::Cycle target);
+  /// Assemble the RunResult, close trace spans, sample the final partial
+  /// telemetry window and deposit the run with the obs collector. The
+  /// driver calls this exactly once per run, at the cycle the run ends.
+  RunResult finish(bool eoc, bool deadlock, bool hit_max, u64 max_cycles);
+  /// Human-readable per-core stall summary for deadlock reports.
+  std::string deadlock_diagnostic() const;
+
+  // ---- sim::SteppedComponent -------------------------------------------------
+  /// One cycle through the full phase order (identical to step(); `now` is
+  /// the cycle being entered, i.e. now() + 1).
+  void step_component(sim::Cycle now) override;
+  /// Earliest future cycle with observable work: now() + 1 while any core
+  /// is runnable, otherwise the uncapped fast-forward oracle.
+  sim::Cycle next_event_cycle(sim::Cycle now) const override;
+  /// Rewind the loaded program to its initial state: reset every core to
+  /// the entry point, flush caches, drop queued traffic and zero the
+  /// statistics (memory contents persist — reloading inputs is the kernel
+  /// init hook's job, exactly as for load_program).
+  void reset_run_state() override;
+  void add_counters(sim::CounterSet& counters) const override {
+    collect_counters(counters);
+  }
+  u64 activity() const override { return activity_; }
 
   // ---- DmaSpmPort (dedicated wide SPM port of the DMA engines) --------------
   u32 dma_read_spm(u32 addr) override;
@@ -222,9 +282,6 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   void deliver_response_to_core(const MemResponse& response);
   void deliver_remote_request(u32 dst_tile, BankRequest&& request);
   void activate_bank(u32 global_bank);
-  RunResult finish(bool eoc, bool deadlock, bool hit_max, u64 max_cycles);
-  bool all_cores_halted() const;
-  std::string deadlock_diagnostic() const;
   void init_telemetry();
   void sample_window();
   /// With every core asleep, jump cycle_ to one cycle before the earliest
@@ -232,14 +289,11 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   /// qos window, telemetry sample, prof stride, deadlock verdict,
   /// max_cycles), charging skipped cycles exactly as if each had ticked.
   void maybe_fast_forward(u64 max_cycles);
-  /// Earliest cycle any memory-system source can wake a core (kNever when
-  /// everything is drained). The deadlock watchdog consults this before
-  /// issuing a verdict so a long in-flight wait is not mistaken for a hang.
-  sim::Cycle next_wake_event() const;
 
   ClusterConfig cfg_;
   AddrMap map_;
   sim::Cycle cycle_ = 0;
+  u32 entry_ = 0;  ///< entry point of the loaded program (reset_run_state)
 
   // Cores and icaches live in contiguous arrays (no per-element heap
   // indirection): built once in the constructor with reserved capacity and
@@ -318,7 +372,6 @@ class Cluster : public MemIssueSink, public DmaSpmPort {
   u64 activity_ = 0;
   u64 last_activity_value_ = 0;
   sim::Cycle last_activity_cycle_ = 0;
-  static constexpr u64 kDeadlockWindow = 20000;
 
   // ---- occupancy + idle-cycle fast-forward ---------------------------------
   // O(1) occupancy counts, updated by the MemIssueSink transition hooks

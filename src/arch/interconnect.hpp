@@ -24,11 +24,12 @@
 #include "arch/params.hpp"
 #include "sim/counters.hpp"
 #include "sim/delay_pipe.hpp"
+#include "sim/stepped.hpp"
 #include "sim/types.hpp"
 
 namespace mp3d::arch {
 
-class Interconnect {
+class Interconnect final : public sim::SteppedComponent {
  public:
   static constexpr u32 kNumNetworks = 4;  ///< local + 3 inter-group
 
@@ -68,13 +69,24 @@ class Interconnect {
   /// catch-up on a jump. An O(1) occupancy count answers the common
   /// fully-drained case without scanning the ports (this is called on
   /// every failed fast-forward attempt).
-  sim::Cycle next_event_cycle(sim::Cycle now) const;
+  sim::Cycle next_event_cycle(sim::Cycle now) const override;
 
-  void add_counters(sim::CounterSet& counters) const;
+  void add_counters(sim::CounterSet& counters) const override;
 
   /// Drop in-flight flits and zero the statistics. Called between program
   /// loads on one cluster.
-  void reset_run_state();
+  void reset_run_state() override;
+
+  // ---- sim::SteppedComponent -----------------------------------------------
+  // Cluster::step interleaves step_requests / step_responses around the
+  // bank phase, so it keeps the split calls; the generic entry is for
+  // drivers that bind the delivery sinks once.
+  void bind_sinks(RequestSink request_sink, ResponseSink response_sink) {
+    request_sink_ = std::move(request_sink);
+    response_sink_ = std::move(response_sink);
+  }
+  void step_component(sim::Cycle now) override;
+  u64 activity() const override { return req_flits_ + resp_flits_; }
 
  private:
   template <typename T>
@@ -117,6 +129,11 @@ class Interconnect {
   // length, so they are counted separately.
   u64 local_hops_ = 0;
   u64 global_hops_ = 0;
+
+  // Delivery sinks of the generic step_component() entry (unset when the
+  // owner drives the split step_requests/step_responses calls itself).
+  RequestSink request_sink_;
+  ResponseSink response_sink_;
 };
 
 }  // namespace mp3d::arch

@@ -1,0 +1,51 @@
+// SPDX-License-Identifier: Apache-2.0
+// Multi-cluster scaling scenario definitions: the sweep behind
+// bench/system_scaling.
+//
+// Three families over the hierarchical System (src/sys/):
+//   - sys/weak/<kernel>/c<N>: weak scaling — N clusters each running one
+//     staged copy of the same job (memcpy or DMA-staged matmul), inputs
+//     sharded out of the home cluster's gmem shard over the mesh and
+//     outputs staged back. Per-cluster work is constant, so the system
+//     cycle count would be flat under perfect scaling; the efficiency
+//     column (cycles at c1 / cycles at cN) charts how close the mesh +
+//     staging overheads let the system get.
+//   - sys/speedup/memcpy/c<N>: fig6-style throughput sweep — a fixed
+//     batch of jobs drained by 1..8 clusters under the least-loaded
+//     scheduler; the speedup column is the batch-makespan ratio vs c1.
+//   - sys/compat/single_cluster: the back-compat witness — the same
+//     kernel through a bare Cluster and a one-cluster System must produce
+//     bit-identical cycle counts, counters and memory.
+//
+// Every scaling scenario runs its system twice, fast-forward on and off,
+// and reports whether the two runs were bit-identical (cycles, the full
+// counter map, per-job records) — the system-level extension of the
+// sim_speed on/off contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "exp/scenario.hpp"
+
+namespace mp3d::exp {
+
+/// Cluster counts swept by the weak-scaling and speedup families
+/// ({1, 2, 4, 8}; {1, 2} under --smoke).
+std::vector<u32> system_cluster_counts(bool smoke);
+
+/// Weak-scaling kernels, in registration order: {"memcpy", "matmul"}.
+std::vector<std::string> system_weak_kernels();
+
+/// Jobs in the fixed speedup batch (8; 4 under --smoke).
+u32 system_speedup_jobs(bool smoke);
+
+std::string system_weak_name(const std::string& kernel, u32 clusters);
+std::string system_speedup_name(u32 clusters);
+std::string system_compat_name();
+
+/// Register every scenario of the system_scaling suite.
+void register_system_scenarios(Registry& registry, bool smoke);
+
+}  // namespace mp3d::exp

@@ -49,6 +49,8 @@ TelemetryRequest global_request() {
 
 void set_collect_label(const std::string& label) { t_label = label; }
 
+std::string collect_label() { return t_label; }
+
 void collect_run(const Telemetry& telemetry) {
   if (!global_request_active()) {
     return;

@@ -52,6 +52,9 @@ TelemetryRequest global_request();
 /// Label deposits from the current thread (the runner sets the scenario
 /// name before each run). Empty label → "run".
 void set_collect_label(const std::string& label);
+/// The current thread's deposit label (so a multi-cluster driver can
+/// append a per-cluster suffix around each deposit and restore it).
+std::string collect_label();
 
 /// Deposit one finished run's telemetry. Timeline windows become
 /// long-format rows labeled with the collect label; trace events are

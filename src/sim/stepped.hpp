@@ -1,0 +1,62 @@
+// SPDX-License-Identifier: Apache-2.0
+// The common stepped-component contract of the cycle-level simulator.
+//
+// Every timed component — the bandwidth-limited global memory, the DMA
+// subsystem, the hierarchical interconnect, a whole Cluster, and the
+// system-level inter-cluster fabric — advances in a fixed per-cycle phase
+// order and can answer the same four questions:
+//
+//   * step_component(now):   advance one cycle of autonomous work.
+//   * next_event_cycle(now): the earliest future cycle with observable
+//     work (kNever when fully drained). This is the idle-cycle
+//     fast-forward oracle AND the deadlock watchdog's wake witness: a
+//     driver may jump the clock to one cycle before the minimum over its
+//     components, and must not issue a deadlock verdict while any
+//     component still reports a finite event.
+//   * reset_run_state():     drop traffic and statistics between runs so
+//     back-to-back runs are bit-identical.
+//   * add_counters(out):     append cumulative counters (RunResult
+//     assembly, windowed telemetry sampling).
+//
+// activity() is the monotone progress witness the watchdog compares
+// across cycles; any unit works as long as it strictly increases whenever
+// the component does observable work.
+//
+// Drivers (Cluster::run, sys::System::run) use the interface where they
+// iterate heterogeneous components; per-cycle hot paths inside a driver
+// keep calling the concrete inline methods — the concrete classes are
+// `final` precisely so those calls devirtualize.
+#pragma once
+
+#include "sim/counters.hpp"
+#include "sim/types.hpp"
+
+namespace mp3d::sim {
+
+class SteppedComponent {
+ public:
+  virtual ~SteppedComponent() = default;
+
+  /// Advance one cycle of autonomous work. Components whose step needs
+  /// collaborators (memory sinks, SPM ports) are bound to them once at
+  /// construction/attach time; calling this unbound is a checked error.
+  virtual void step_component(Cycle now) = 0;
+
+  /// Earliest future cycle at which this component does observable work,
+  /// given the current cycle; kNever when drained. `now + 1` means "must
+  /// tick every cycle while in this state".
+  virtual Cycle next_event_cycle(Cycle now) const = 0;
+
+  /// Drop queued traffic and statistics so the next run starts from an
+  /// identical state (backing storage contents persist).
+  virtual void reset_run_state() = 0;
+
+  /// Append this component's cumulative counters.
+  virtual void add_counters(CounterSet& counters) const = 0;
+
+  /// Monotone progress witness for deadlock detection: strictly increases
+  /// whenever the component performs observable work.
+  virtual u64 activity() const = 0;
+};
+
+}  // namespace mp3d::sim

@@ -1,0 +1,42 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sys/energy.hpp"
+
+namespace mp3d::sys {
+
+SystemEnergyReport account_system(const SystemResult& result,
+                                  const power::OperatingPoint& op,
+                                  const IcnConfig& icn) {
+  SystemEnergyReport report;
+  bool first = true;
+  for (const JobRecord& job : result.jobs) {
+    if (!job.dispatched) {
+      continue;
+    }
+    const power::EnergyReport r = power::account(job.result, op);
+    if (first) {
+      report.clusters.op_name = r.op_name;
+      report.clusters.freq_ghz = r.freq_ghz;
+      first = false;
+    }
+    report.clusters.core_nj += r.core_nj;
+    report.clusters.spm_nj += r.spm_nj;
+    report.clusters.dma_nj += r.dma_nj;
+    report.clusters.icache_nj += r.icache_nj;
+    report.clusters.noc_nj += r.noc_nj;
+    report.clusters.gmem_nj += r.gmem_nj;
+    report.clusters.gmem_scalar_nj += r.gmem_scalar_nj;
+    report.clusters.gmem_bulk_nj += r.gmem_bulk_nj;
+    report.clusters.leakage_nj += r.leakage_nj;
+    report.clusters.background_nj += r.background_nj;
+  }
+  report.clusters.cycles = result.cycles;
+  if (report.clusters.freq_ghz > 0.0) {
+    report.clusters.runtime_ns =
+        static_cast<double>(result.cycles) / report.clusters.freq_ghz;
+  }
+  report.icn_nj = static_cast<double>(result.counters.get("sys.icn.byte_hops")) *
+                  icn.pj_per_byte_hop * 1e-3;
+  return report;
+}
+
+}  // namespace mp3d::sys

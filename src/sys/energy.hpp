@@ -1,0 +1,42 @@
+// SPDX-License-Identifier: Apache-2.0
+// System-level energy accounting: the per-cluster reports of every job,
+// summed field-wise, plus the inter-cluster wire energy the cluster-level
+// model cannot see (sys.icn.byte_hops x IcnConfig::pj_per_byte_hop).
+//
+// power::EnergyReport itself is untouched — its field set and CSV column
+// order are pinned by the single-cluster suites — so the system report
+// wraps one as the cluster aggregate and adds the fabric on the side.
+#pragma once
+
+#include "power/energy_model.hpp"
+#include "power/report.hpp"
+#include "sys/params.hpp"
+#include "sys/system.hpp"
+
+namespace mp3d::sys {
+
+struct SystemEnergyReport {
+  /// Field-wise sum of every dispatched job's cluster report. `cycles` and
+  /// `runtime_ns` are the *system* run's (wall time of the whole shard),
+  /// while leakage/background sum each cluster's own active span — an idle
+  /// cluster is power-gated, matching the weak-scaling model.
+  power::EnergyReport clusters;
+  /// Inter-cluster interconnect wire energy [nJ].
+  double icn_nj = 0.0;
+
+  double total_nj() const { return clusters.total_nj() + icn_nj; }
+  /// Fabric share of the total (0 when nothing crossed the mesh).
+  double icn_fraction() const {
+    const double total = total_nj();
+    return total > 0.0 ? icn_nj / total : 0.0;
+  }
+};
+
+/// Cost a finished system run under `op`. The icn energy is derived from
+/// the run's `sys.icn.byte_hops` counter, so a local (same-cluster) claim
+/// is free wire exactly as a zero-hop route should be.
+SystemEnergyReport account_system(const SystemResult& result,
+                                  const power::OperatingPoint& op,
+                                  const IcnConfig& icn);
+
+}  // namespace mp3d::sys

@@ -1,0 +1,76 @@
+// SPDX-License-Identifier: Apache-2.0
+#include "sys/icn.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mp3d::sys {
+
+ClusterIcn::ClusterIcn(const IcnConfig& cfg, u32 num_clusters)
+    : cfg_(cfg), num_clusters_(num_clusters) {
+  cfg_.validate();
+  MP3D_CHECK(num_clusters_ >= 1, "ClusterIcn needs at least one cluster");
+  cols_ = 1;
+  while (cols_ * cols_ < num_clusters_) {
+    ++cols_;
+  }
+  egress_left_.assign(num_clusters_, 0);
+  ingress_left_.assign(num_clusters_, 0);
+}
+
+u32 ClusterIcn::hops(u32 src, u32 dst) const {
+  MP3D_ASSERT(src < num_clusters_ && dst < num_clusters_);
+  const u32 sx = src % cols_;
+  const u32 sy = src / cols_;
+  const u32 dx = dst % cols_;
+  const u32 dy = dst / cols_;
+  return (sx > dx ? sx - dx : dx - sx) + (sy > dy ? sy - dy : dy - sy);
+}
+
+void ClusterIcn::refresh_budgets(sim::Cycle now) {
+  if (stamp_ == now) {
+    return;
+  }
+  stamp_ = now;
+  std::fill(egress_left_.begin(), egress_left_.end(), cfg_.link_bytes_per_cycle);
+  std::fill(ingress_left_.begin(), ingress_left_.end(), cfg_.link_bytes_per_cycle);
+}
+
+u32 ClusterIcn::claim(u32 src, u32 dst, u32 bytes, sim::Cycle now) {
+  refresh_budgets(now);
+  const u32 granted = std::min({bytes, egress_left_[src], ingress_left_[dst]});
+  if (granted == 0) {
+    if (bytes > 0) {
+      ++starved_claims_;
+    }
+    return 0;
+  }
+  egress_left_[src] -= granted;
+  ingress_left_[dst] -= granted;
+  bytes_moved_ += granted;
+  byte_hops_ += static_cast<u64>(granted) * hops(src, dst);
+  if (src == dst) {
+    local_bytes_ += granted;
+  }
+  return granted;
+}
+
+void ClusterIcn::reset_run_state() {
+  stamp_ = sim::kNever;
+  std::fill(egress_left_.begin(), egress_left_.end(), 0);
+  std::fill(ingress_left_.begin(), ingress_left_.end(), 0);
+  bytes_moved_ = 0;
+  byte_hops_ = 0;
+  local_bytes_ = 0;
+  starved_claims_ = 0;
+}
+
+void ClusterIcn::add_counters(sim::CounterSet& counters) const {
+  counters.set("sys.icn.bytes", bytes_moved_);
+  counters.set("sys.icn.byte_hops", byte_hops_);
+  counters.set("sys.icn.local_bytes", local_bytes_);
+  counters.set("sys.icn.starved_claims", starved_claims_);
+}
+
+}  // namespace mp3d::sys

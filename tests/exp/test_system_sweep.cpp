@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: Apache-2.0
+// system_scaling sweep: the multi-cluster scenarios stay deterministic
+// under parallel execution (byte-identical CSV for any --jobs), register
+// the expected families, and hold the bench's identity contracts
+// (single-cluster compat, fast-forward on/off) at smoke scale.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/row.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenarios_system.hpp"
+
+namespace mp3d::exp {
+namespace {
+
+TEST(SystemSweep, SmokeGridRegistersEveryFamily) {
+  Registry registry;
+  register_system_scenarios(registry, /*smoke=*/true);
+  const auto counts = system_cluster_counts(true);
+  const auto kernels = system_weak_kernels();
+  // weak (kernels x counts) + speedup (counts) + the compat witness.
+  EXPECT_EQ(registry.scenarios().size(),
+            kernels.size() * counts.size() + counts.size() + 1);
+  for (const std::string& kernel : kernels) {
+    for (const u32 n : counts) {
+      EXPECT_TRUE(registry.contains(system_weak_name(kernel, n)));
+    }
+  }
+  EXPECT_TRUE(registry.contains(system_compat_name()));
+}
+
+TEST(SystemSweep, CsvBytesIdenticalAcrossJobCounts) {
+  Registry registry;
+  register_system_scenarios(registry, /*smoke=*/true);
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 4;
+  const SweepReport report_1 = run_sweep(registry.scenarios(), serial);
+  const SweepReport report_4 = run_sweep(registry.scenarios(), parallel);
+  EXPECT_EQ(report_1.failures(), 0u);
+  EXPECT_EQ(report_4.failures(), 0u);
+  const std::string csv_1 = rows_to_csv(report_1.rows());
+  const std::string csv_4 = rows_to_csv(report_4.rows());
+  EXPECT_EQ(csv_1, csv_4);
+  EXPECT_NE(csv_1.find("memcpy"), std::string::npos);
+  EXPECT_NE(csv_1.find("matmul"), std::string::npos);
+}
+
+TEST(SystemSweep, IdentityContractsHoldAtSmokeScale) {
+  Registry registry;
+  register_system_scenarios(registry, /*smoke=*/true);
+  RunnerOptions options;
+  options.jobs = 1;
+  const SweepReport report = run_sweep(registry.scenarios(), options);
+  EXPECT_EQ(report.metric(system_compat_name(), "identical"), 1.0);
+  for (const std::string& kernel : system_weak_kernels()) {
+    for (const u32 n : system_cluster_counts(true)) {
+      const std::string name = system_weak_name(kernel, n);
+      EXPECT_EQ(report.metric(name, "ff_identical"), 1.0) << name;
+      EXPECT_EQ(report.metric(name, "jobs_ok"), 1.0) << name;
+    }
+  }
+  for (const u32 n : system_cluster_counts(true)) {
+    const std::string name = system_speedup_name(n);
+    EXPECT_EQ(report.metric(name, "ff_identical"), 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mp3d::exp

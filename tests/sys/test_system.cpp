@@ -1,0 +1,240 @@
+// SPDX-License-Identifier: Apache-2.0
+// The multi-cluster System driver: job sharding, staging through the home
+// shard, scheduler policies, counter namespacing, determinism across
+// back-to-back runs, and system-level energy accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernels/matmul.hpp"
+#include "kernels/simple_kernels.hpp"
+#include "power/energy_model.hpp"
+#include "sys/energy.hpp"
+#include "sys/system.hpp"
+
+namespace mp3d {
+namespace {
+
+sys::SystemConfig mini_system(u32 clusters) {
+  sys::SystemConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.cluster = arch::ClusterConfig::mini();
+  return cfg;
+}
+
+/// A staged memcpy job: the kernel's gmem source vector (written by its
+/// init hook) is homed and transferred in over the mesh before the run.
+sys::JobSpec memcpy_job(const arch::ClusterConfig& cfg, u32 n, u32 rounds,
+                        u64 seed, const std::string& name) {
+  sys::JobSpec job;
+  job.name = name;
+  job.kernel = kernels::build_memcpy_dma(cfg, n, rounds, seed);
+  job.input_base = static_cast<u32>(cfg.gmem_base + MiB(1));
+  job.input_bytes = static_cast<u64>(n) * 4;
+  return job;
+}
+
+/// A staged matmul job: A and B stream in, C streams back to the home
+/// shard after EOC (the full shard-in / compute / shard-out shape).
+sys::JobSpec matmul_job(const arch::ClusterConfig& cfg, u32 m, u32 t,
+                        u64 seed, const std::string& name) {
+  kernels::MatmulParams params;
+  params.m = m;
+  params.t = t;
+  params.markers = false;
+  sys::JobSpec job;
+  job.name = name;
+  job.kernel = kernels::build_matmul_dma(cfg, params, seed);
+  const u64 mat_bytes = static_cast<u64>(m) * m * 4;
+  job.input_base = static_cast<u32>(cfg.gmem_base + MiB(1));
+  job.input_bytes = 2 * mat_bytes;  // A and B
+  job.output_base = static_cast<u32>(cfg.gmem_base + MiB(1) + 2 * mat_bytes);
+  job.output_bytes = mat_bytes;  // C
+  return job;
+}
+
+TEST(System, SingleClusterRunKernelKeepsBareCounterNames) {
+  sys::System system(mini_system(1));
+  const kernels::Kernel kernel =
+      kernels::build_memcpy_dma(arch::ClusterConfig::mini(), 1024, 1, 5);
+  const sys::SystemResult result = system.run_kernel(kernel, 2'000'000);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.jobs.size(), 1U);
+  EXPECT_TRUE(result.jobs[0].result.eoc);
+  EXPECT_TRUE(result.jobs[0].verify_error.empty());
+  // N == 1: bare-cluster counter names, no c<k>. prefix anywhere.
+  EXPECT_TRUE(result.counters.has("core.instret"));
+  EXPECT_TRUE(result.counters.has("dma.bytes"));
+  EXPECT_FALSE(result.counters.has("c0.core.instret"));
+  // The system's own counters ride alongside; nothing crossed the mesh.
+  EXPECT_EQ(result.counters.get("sys.icn.bytes"), 0U);
+  EXPECT_EQ(result.counters.get("cycles"), result.cycles);
+}
+
+TEST(System, ShardsStagedJobsAcrossFourClusters) {
+  sys::System system(mini_system(4));
+  const arch::ClusterConfig& ccfg = system.config().cluster;
+  std::vector<sys::JobSpec> jobs;
+  for (u32 i = 0; i < 4; ++i) {
+    jobs.push_back(memcpy_job(ccfg, 1024, 2, 5 + i, "memcpy" + std::to_string(i)));
+  }
+  const u64 staged_bytes = 4 * 1024 * 4;
+  const sys::SystemResult result = system.run_jobs(jobs, 5'000'000);
+  ASSERT_TRUE(result.ok);
+  std::set<u32> used;
+  for (const sys::JobRecord& job : result.jobs) {
+    EXPECT_TRUE(job.ok()) << job.name << ": " << job.verify_error;
+    used.insert(job.cluster);
+    // Staging is timed: the cluster starts only after its input landed.
+    EXPECT_GT(job.started_at, job.assigned_at);
+    EXPECT_GE(job.eoc_at, job.started_at);
+    EXPECT_EQ(job.completed_at, job.eoc_at);  // no write-back region
+  }
+  EXPECT_EQ(used.size(), 4U);  // round-robin: one job per cluster
+  // Namespaced per-cluster counters plus system-level fabric counters.
+  EXPECT_TRUE(result.counters.has("c0.core.instret"));
+  EXPECT_TRUE(result.counters.has("c3.cycles"));
+  EXPECT_FALSE(result.counters.has("core.instret"));
+  EXPECT_EQ(result.counters.get("sys.dma.descriptors"), 4U);
+  EXPECT_EQ(result.counters.get("sys.dma.bytes"), staged_bytes);
+  EXPECT_EQ(result.counters.get("sys.icn.bytes"), staged_bytes);
+  // Cluster 0 is the home shard: its own job's staging is a local claim.
+  EXPECT_GT(result.counters.get("sys.icn.local_bytes"), 0U);
+}
+
+TEST(System, MatmulRoundTripStagesOutputsBackToTheHomeShard) {
+  sys::System system(mini_system(2));
+  const arch::ClusterConfig& ccfg = system.config().cluster;
+  std::vector<sys::JobSpec> jobs;
+  jobs.push_back(matmul_job(ccfg, 32, 16, 11, "mm0"));
+  jobs.push_back(matmul_job(ccfg, 32, 16, 12, "mm1"));
+  const sys::SystemResult result = system.run_jobs(jobs, 10'000'000);
+  ASSERT_TRUE(result.ok);
+  for (const sys::JobRecord& job : result.jobs) {
+    EXPECT_TRUE(job.ok()) << job.name << ": " << job.verify_error;
+    // Write-back is timed too: completion strictly after the run's end.
+    EXPECT_GT(job.completed_at, job.eoc_at);
+  }
+  // in: 2 jobs x (A+B); out: 2 jobs x C.
+  const u64 mat = 32 * 32 * 4;
+  EXPECT_EQ(result.counters.get("sys.dma.bytes"), 2 * (2 * mat) + 2 * mat);
+  EXPECT_EQ(result.counters.get("sys.dma.descriptors"), 4U);
+  // The worker cluster's C tile crossed the mesh into the home shard:
+  // verify the home copy of job mm1's output matches the worker's.
+  const sys::JobRecord& remote =
+      result.jobs[result.jobs[0].cluster == 0 ? 1 : 0];
+  EXPECT_NE(remote.cluster, 0U);
+  EXPECT_GT(result.counters.get("sys.icn.byte_hops"), 0U);
+}
+
+TEST(System, SchedulerPoliciesDivergeOnSkewedJobs) {
+  const arch::ClusterConfig ccfg = arch::ClusterConfig::mini();
+  // Job 0 is ~4x the work of job 1; job 2 should wait for cluster 0 under
+  // round-robin pinning but take the first idle cluster (1) when the
+  // scheduler adapts.
+  const auto jobs = [&]() {
+    std::vector<sys::JobSpec> list;
+    list.push_back(memcpy_job(ccfg, 1024, 8, 5, "long"));
+    list.push_back(memcpy_job(ccfg, 1024, 1, 6, "short"));
+    list.push_back(memcpy_job(ccfg, 1024, 1, 7, "tail"));
+    return list;
+  };
+  sys::SystemConfig rr = mini_system(2);
+  rr.policy = sys::SchedPolicy::kRoundRobin;
+  sys::System rr_system(rr);
+  const sys::SystemResult rr_result = rr_system.run_jobs(jobs(), 10'000'000);
+  ASSERT_TRUE(rr_result.ok);
+  EXPECT_EQ(rr_result.jobs[2].cluster, 0U);
+
+  sys::SystemConfig ll = mini_system(2);
+  ll.policy = sys::SchedPolicy::kLeastLoaded;
+  sys::System ll_system(ll);
+  const sys::SystemResult ll_result = ll_system.run_jobs(jobs(), 10'000'000);
+  ASSERT_TRUE(ll_result.ok);
+  EXPECT_EQ(ll_result.jobs[2].cluster, 1U);
+  // Adapting to the skew finishes the batch sooner.
+  EXPECT_LT(ll_result.cycles, rr_result.cycles);
+}
+
+TEST(System, BackToBackRunsAreIdentical) {
+  sys::System system(mini_system(2));
+  const arch::ClusterConfig& ccfg = system.config().cluster;
+  const auto jobs = [&]() {
+    std::vector<sys::JobSpec> list;
+    list.push_back(memcpy_job(ccfg, 1024, 2, 5, "a"));
+    list.push_back(memcpy_job(ccfg, 1024, 1, 6, "b"));
+    list.push_back(memcpy_job(ccfg, 1024, 1, 7, "c"));
+    return list;
+  };
+  const sys::SystemResult first = system.run_jobs(jobs(), 10'000'000);
+  const sys::SystemResult second = system.run_jobs(jobs(), 10'000'000);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_TRUE(first.counters == second.counters);
+  ASSERT_EQ(first.jobs.size(), second.jobs.size());
+  for (std::size_t i = 0; i < first.jobs.size(); ++i) {
+    EXPECT_EQ(first.jobs[i].cluster, second.jobs[i].cluster);
+    EXPECT_EQ(first.jobs[i].started_at, second.jobs[i].started_at);
+    EXPECT_EQ(first.jobs[i].completed_at, second.jobs[i].completed_at);
+    EXPECT_TRUE(first.jobs[i].result.counters == second.jobs[i].result.counters);
+  }
+}
+
+TEST(System, HitMaxCyclesIsReportedNotThrown) {
+  sys::System system(mini_system(1));
+  const kernels::Kernel kernel =
+      kernels::build_memcpy_dma(arch::ClusterConfig::mini(), 1024, 4, 5);
+  const sys::SystemResult result = system.run_kernel(kernel, 500);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.hit_max_cycles);
+  ASSERT_EQ(result.jobs.size(), 1U);
+  EXPECT_TRUE(result.jobs[0].result.hit_max_cycles);
+  EXPECT_EQ(result.jobs[0].result.cycles, 500U);
+}
+
+TEST(System, EnergyReportAddsFabricOnTopOfClusterSums) {
+  sys::System system(mini_system(2));
+  const arch::ClusterConfig& ccfg = system.config().cluster;
+  std::vector<sys::JobSpec> jobs;
+  jobs.push_back(memcpy_job(ccfg, 1024, 1, 5, "a"));
+  jobs.push_back(memcpy_job(ccfg, 1024, 1, 6, "b"));
+  const sys::SystemResult result = system.run_jobs(jobs, 5'000'000);
+  ASSERT_TRUE(result.ok);
+
+  const power::OperatingPoint op =
+      power::make_operating_point(ccfg, phys::Flow::k2D);
+  const sys::SystemEnergyReport report =
+      sys::account_system(result, op, system.config().icn);
+  EXPECT_GT(report.clusters.core_nj, 0.0);
+  EXPECT_GT(report.icn_nj, 0.0);  // job b's inputs crossed a mesh hop
+  EXPECT_DOUBLE_EQ(
+      report.icn_nj,
+      static_cast<double>(result.counters.get("sys.icn.byte_hops")) *
+          system.config().icn.pj_per_byte_hop * 1e-3);
+  EXPECT_GT(report.total_nj(), report.clusters.total_nj());
+  EXPECT_GT(report.icn_fraction(), 0.0);
+  EXPECT_LT(report.icn_fraction(), 0.5);
+  // The cluster aggregate matches summing the per-job reports by hand.
+  double core_sum = 0.0;
+  for (const sys::JobRecord& job : result.jobs) {
+    core_sum += power::account(job.result, op).core_nj;
+  }
+  EXPECT_DOUBLE_EQ(report.clusters.core_nj, core_sum);
+}
+
+TEST(System, ConfigValidatesAndPrints) {
+  sys::SystemConfig cfg = mini_system(4);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_NE(cfg.to_string().find("clusters=4"), std::string::npos);
+  cfg.home_cluster = 9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.home_cluster = 0;
+  cfg.num_clusters = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mp3d
